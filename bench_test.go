@@ -1,0 +1,163 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper at bench scale. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Each benchmark prints the artifact's rows (the same row/series structure
+// the paper reports) and measures the wall-clock cost of regenerating it.
+// Model training is cached inside the shared suite, so the first benchmark
+// that needs a model pays for its training.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+	benchErr   error
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite, benchErr = experiments.NewSuite(experiments.BenchConfig())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+func BenchmarkTable1CorpusStats(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Table1(os.Stdout)
+		if res.PerDB["IMDB"]["total"].Queries == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+func BenchmarkTable2QuerySimilarities(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Table2(os.Stdout)
+		if len(res.Rows) != 2 {
+			b.Fatal("missing databases")
+		}
+	}
+}
+
+func BenchmarkTable3MainResults(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Table3(os.Stdout)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows["Academic"]) != 7 {
+			b.Fatal("missing methods")
+		}
+	}
+}
+
+func BenchmarkTable4PretrainAblation(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table4(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5UnseenFactExample(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table5(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6InferenceTimes(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Table6(os.Stdout)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			b.Fatal("missing methods")
+		}
+	}
+}
+
+func BenchmarkFigure7SimilarityHeatmaps(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		s.Figure7(os.Stdout)
+	}
+}
+
+func BenchmarkFigure8SampleQuartets(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		s.Figure8(os.Stdout)
+	}
+}
+
+func BenchmarkFigure9PerformanceAnalysis(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure9(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10SimilarityVsNDCG(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure10(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11LogSizeSweep(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure11(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12SeenUnseenFacts(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure12(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationShapleyAlgorithms compares the three Shapley computation
+// strategies on the same provenance workload (exact knowledge compilation vs
+// brute force vs CNF proxy) — the starred design decision of DESIGN.md §4.2.
+func BenchmarkAblationShapleyAlgorithms(b *testing.B) {
+	s := suite(b)
+	fmt.Println("\nAblation: Shapley algorithm runtimes over IMDB test provenance")
+	for i := 0; i < b.N; i++ {
+		if err := experiments.ShapleyAblation(s, os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command dbshap-gen builds a synthetic DBShap-style corpus (database +
+// SPJU workload + exact Shapley labels) and prints its statistics in the
+// shape of the paper's Tables 1 and 2. With -sql it also dumps the generated
+// workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	kindFlag := flag.String("db", "both", "imdb, academic, or both")
+	queries := flag.Int("queries", 40, "queries per database")
+	cases := flag.Int("cases", 12, "labeled output tuples per query")
+	seed := flag.Int64("seed", 1, "generation seed")
+	scale := flag.Float64("scale", 1.0, "database size multiplier")
+	dumpSQL := flag.Bool("sql", false, "dump the generated workload")
+	similarities := flag.Bool("similarities", true, "compute Table 2 split similarities")
+	flag.Parse()
+
+	kinds := []dataset.Kind{dataset.IMDB, dataset.Academic}
+	switch *kindFlag {
+	case "imdb":
+		kinds = []dataset.Kind{dataset.IMDB}
+	case "academic":
+		kinds = []dataset.Kind{dataset.Academic}
+	case "both":
+	default:
+		log.Fatalf("unknown -db %q", *kindFlag)
+	}
+
+	fmt.Printf("%-10s %-8s %10s %10s %12s\n", "database", "split", "#queries", "#results", "#facts")
+	for _, kind := range kinds {
+		cfg := dataset.DefaultConfig(kind)
+		cfg.Seed = *seed
+		cfg.NumQueries = *queries
+		cfg.MaxCasesPerQuery = *cases
+		cfg.Scale = dataset.Scale{Base: *scale}
+		start := time.Now()
+		c, err := dataset.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		splits := []struct {
+			name string
+			idx  []int
+		}{
+			{"train", c.Train}, {"dev", c.Dev}, {"test", c.Test},
+		}
+		for _, sp := range splits {
+			st := c.Stats(sp.idx)
+			fmt.Printf("%-10s %-8s %10d %10d %12d\n", kind, sp.name, st.Queries, st.Results, st.Facts)
+		}
+		fmt.Printf("%-10s built in %v (%d database facts)\n", kind, elapsed.Round(time.Millisecond), c.DB.NumFacts())
+
+		if *similarities {
+			sims := dataset.NewSimilarityCache(c)
+			fmt.Printf("\n%-10s %-14s %12s %12s %12s\n", "database", "metric", "train-train", "train-dev", "train-test")
+			for _, metric := range []string{"syntax", "witness", "rank"} {
+				f := sims.ByMetric(metric)
+				avg := func(a, b []int) float64 {
+					total, n := 0.0, 0
+					for _, i := range a {
+						for _, j := range b {
+							if i != j {
+								total += f(i, j)
+								n++
+							}
+						}
+					}
+					if n == 0 {
+						return 0
+					}
+					return total / float64(n)
+				}
+				fmt.Printf("%-10s %-14s %12.4f %12.4f %12.4f\n", kind, metric,
+					avg(c.Train, c.Train), avg(c.Train, c.Dev), avg(c.Train, c.Test))
+			}
+		}
+		if *dumpSQL {
+			fmt.Fprintf(os.Stdout, "\n-- %s workload --\n", kind)
+			for _, q := range c.Queries {
+				fmt.Printf("%3d: %s\n", q.ID, q.SQL)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section over the synthetic corpora. Output goes to stdout;
+// redirect to record a full run (the numbers in EXPERIMENTS.md come from
+// such a run).
+//
+//	go run ./cmd/experiments            # full scale
+//	go run ./cmd/experiments -bench     # bench scale (faster)
+//	go run ./cmd/experiments -only table3,figure11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	benchScale := flag.Bool("bench", false, "use the (smaller) bench-scale configuration")
+	only := flag.String("only", "", "comma-separated artifact list (e.g. table1,figure9); empty = all")
+	flag.Parse()
+
+	cfg := experiments.FullConfig()
+	if *benchScale {
+		cfg = experiments.BenchConfig()
+	}
+	start := time.Now()
+	fmt.Println("Building corpora (offline Shapley labeling pipeline)...")
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpora ready in %v\n", time.Since(start).Round(time.Second))
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*only, ",") {
+		if name = strings.TrimSpace(strings.ToLower(name)); name != "" {
+			want[name] = true
+		}
+	}
+	run := func(name string, f func() error) {
+		if len(want) > 0 && !want[name] {
+			return
+		}
+		t := time.Now()
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("[%s done in %v]\n", name, time.Since(t).Round(time.Second))
+	}
+
+	w := os.Stdout
+	run("table1", func() error { suite.Table1(w); return nil })
+	run("table2", func() error { suite.Table2(w); return nil })
+	run("figure7", func() error { suite.Figure7(w); return nil })
+	run("figure8", func() error { suite.Figure8(w); return nil })
+	run("table3", func() error { _, err := suite.Table3(w); return err })
+	run("figure9", func() error { _, err := suite.Figure9(w); return err })
+	run("figure10", func() error { _, err := suite.Figure10(w); return err })
+	run("table4", func() error { _, err := suite.Table4(w); return err })
+	run("figure11", func() error { _, err := suite.Figure11(w); return err })
+	run("figure12", func() error { _, err := suite.Figure12(w); return err })
+	run("table5", func() error { _, err := suite.Table5(w); return err })
+	run("table6", func() error { _, err := suite.Table6(w); return err })
+	run("ablation", func() error { return experiments.ShapleyAblation(suite, w) })
+	run("extension", func() error { _, err := experiments.ExtensionUnrestrictedRanking(suite, w); return err })
+	run("cross-schema", func() error { _, err := experiments.ExtensionCrossSchema(suite, w); return err })
+
+	fmt.Printf("\nall requested artifacts regenerated in %v\n", time.Since(start).Round(time.Second))
+}

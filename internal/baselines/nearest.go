@@ -1,0 +1,148 @@
+// Package baselines implements the Nearest Queries comparison methods of
+// Section 5.1: score each lineage fact by aggregating its historic Shapley
+// values over the n log queries most similar to the query of interest, under
+// a configurable similarity metric (syntax-based, witness-based, or — in the
+// controlled experiment only — rank-based, which requires gold Shapley values
+// and is therefore infeasible in deployment).
+//
+// Facts never seen in the selected neighbors score 0, so the baseline places
+// unseen facts below all seen facts in arbitrary order — the behaviour the
+// unseen-fact analysis of Section 5.7 contrasts LearnShapley against.
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/relation"
+	"repro/internal/shapley"
+	"repro/internal/similarity"
+	"repro/internal/sqlparse"
+)
+
+// NearestQueries is the kNN ranker over a labeled query log.
+type NearestQueries struct {
+	Metric string // "syntax", "witness" or "rank"
+	N      int    // number of neighbors (the paper found n = 3 best)
+
+	corpus   *dataset.Corpus
+	trainIdx []int
+	sims     *dataset.SimilarityCache
+}
+
+// NewNearestQueries builds the baseline over the corpus's training log (or a
+// subset for the log-size study).
+func NewNearestQueries(c *dataset.Corpus, sims *dataset.SimilarityCache, metric string, n int, trainIdx []int) *NearestQueries {
+	if trainIdx == nil {
+		trainIdx = c.Train
+	}
+	return &NearestQueries{Metric: metric, N: n, corpus: c, trainIdx: trainIdx, sims: sims}
+}
+
+// Name implements core.Ranker.
+func (nq *NearestQueries) Name() string {
+	return "Nearest Queries (" + nq.Metric + ")"
+}
+
+// similarityTo computes sim(in, log query qi) for the configured metric. If
+// the input query is itself a corpus query (matched by canonical SQL), the
+// cached pairwise scores are used; otherwise the metric is computed from the
+// input directly.
+func (nq *NearestQueries) similarityTo(in core.Input, qi int) float64 {
+	if idx, ok := nq.corpusIndex(in); ok {
+		return nq.sims.ByMetric(nq.Metric)(idx, qi)
+	}
+	entry := nq.corpus.Queries[qi]
+	switch nq.Metric {
+	case "witness":
+		return similarity.Witness(in.Witness, entry.Witness)
+	case "rank":
+		// Without gold Shapley values for the new query, rank similarity is
+		// undefined outside the controlled experiment.
+		return 0
+	default:
+		q := in.Query
+		if q == nil {
+			parsed, err := sqlparse.Parse(in.SQL)
+			if err != nil {
+				return 0
+			}
+			q = parsed
+		}
+		return similarity.Syntax(q, entry.Query)
+	}
+}
+
+func (nq *NearestQueries) corpusIndex(in core.Input) (int, bool) {
+	if in.Query == nil {
+		return 0, false
+	}
+	canonical := in.Query.SQL()
+	for _, q := range nq.corpus.Queries {
+		if q.SQL == canonical {
+			return q.ID, true
+		}
+	}
+	return 0, false
+}
+
+// neighbors returns the top-n training queries by similarity (ties broken by
+// query ID for determinism).
+func (nq *NearestQueries) neighbors(in core.Input) []int {
+	type scored struct {
+		qi  int
+		sim float64
+	}
+	all := make([]scored, 0, len(nq.trainIdx))
+	for _, qi := range nq.trainIdx {
+		all = append(all, scored{qi: qi, sim: nq.similarityTo(in, qi)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sim != all[j].sim {
+			return all[i].sim > all[j].sim
+		}
+		return all[i].qi < all[j].qi
+	})
+	n := nq.N
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].qi
+	}
+	return out
+}
+
+// historicScore is the mean Shapley value of the fact over a query's labeled
+// cases (0 when the fact never contributed there).
+func historicScore(q *dataset.QueryEntry, id relation.FactID) float64 {
+	if len(q.Cases) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, cs := range q.Cases {
+		total += cs.Gold[id]
+	}
+	return total / float64(len(q.Cases))
+}
+
+// Rank implements core.Ranker: each lineage fact scores the average of its
+// historic per-query scores over the n nearest neighbors.
+func (nq *NearestQueries) Rank(in core.Input) shapley.Values {
+	nbrs := nq.neighbors(in)
+	out := make(shapley.Values, len(in.Lineage))
+	for _, id := range in.Lineage {
+		total := 0.0
+		for _, qi := range nbrs {
+			total += historicScore(nq.corpus.Queries[qi], id)
+		}
+		if len(nbrs) > 0 {
+			out[id] = total / float64(len(nbrs))
+		} else {
+			out[id] = 0
+		}
+	}
+	return out
+}

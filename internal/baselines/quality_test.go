@@ -1,0 +1,47 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestNearestQueriesQualityOnTestSplit(t *testing.T) {
+	// The baseline is weak but far from random: on our corpora, kNN with any
+	// metric should clear NDCG@10 of 0.5 on the test split.
+	c, sims := buildCorpus(t)
+	for _, metric := range []string{"syntax", "witness", "rank"} {
+		nq := NewNearestQueries(c, sims, metric, 3, nil)
+		var scores []float64
+		for _, qi := range c.Test {
+			for ci, cs := range c.Queries[qi].Cases {
+				pred := nq.Rank(inputFor(c, qi, ci))
+				scores = append(scores, metrics.NDCGAtK(pred, cs.Gold, 10))
+			}
+		}
+		if mean := metrics.Mean(scores); mean < 0.5 {
+			t.Errorf("%s: mean NDCG@10 = %v, implausibly low", metric, mean)
+		}
+	}
+}
+
+func TestNeighborCountMatters(t *testing.T) {
+	// n=1 vs n=3 must produce different scores at least sometimes (they
+	// aggregate over different neighbor sets).
+	c, sims := buildCorpus(t)
+	nq1 := NewNearestQueries(c, sims, "syntax", 1, nil)
+	nq3 := NewNearestQueries(c, sims, "syntax", 3, nil)
+	differ := false
+	for _, qi := range c.Test {
+		in := inputFor(c, qi, 0)
+		s1, s3 := nq1.Rank(in), nq3.Rank(in)
+		for id := range s1 {
+			if s1[id] != s3[id] {
+				differ = true
+			}
+		}
+	}
+	if !differ {
+		t.Error("n=1 and n=3 produced identical scores everywhere")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/relation"
+	"repro/internal/tokenizer"
+)
+
+// savedModel is the gob payload of a trained LearnShapley model: its
+// configuration, vocabulary and flat weight tensors. Adam state is not
+// persisted — a loaded model is for inference (or fresh re-training).
+type savedModel struct {
+	Version int
+	Cfg     ModelConfig
+	Words   []string
+	Weights [][]float64
+}
+
+const persistVersion = 1
+
+// Save serializes the trained model. The paired loader is LoadModel.
+func (m *Model) Save(w io.Writer) error {
+	payload := savedModel{
+		Version: persistVersion,
+		Cfg:     m.Cfg,
+		Words:   m.tok.Words(),
+		Weights: m.params.Snapshot(),
+	}
+	return gob.NewEncoder(w).Encode(&payload)
+}
+
+// LoadModel reconstructs a model saved with Save. The database must be the
+// one the model was trained over (fact IDs are how Rank resolves lineage
+// members to token sequences).
+func LoadModel(r io.Reader, db *relation.Database) (*Model, error) {
+	var payload savedModel
+	if err := gob.NewDecoder(r).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if payload.Version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", payload.Version)
+	}
+	tok, err := tokenizer.FromWords(payload.Words)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore vocabulary: %w", err)
+	}
+	// The RNG only sets the pre-restore initialization, which Restore then
+	// overwrites entirely; any seed works.
+	m := newModel(payload.Cfg, tok, rand.New(rand.NewSource(payload.Cfg.Seed)))
+	m.trainDB = db
+	if len(payload.Weights) != len(m.params.All()) {
+		return nil, fmt.Errorf("core: weight tensor count %d does not match architecture (%d)",
+			len(payload.Weights), len(m.params.All()))
+	}
+	for i, p := range m.params.All() {
+		if len(payload.Weights[i]) != len(p.W) {
+			return nil, fmt.Errorf("core: tensor %q has %d weights, file has %d",
+				p.Name, len(p.W), len(payload.Weights[i]))
+		}
+	}
+	m.params.Restore(payload.Weights)
+	return m, nil
+}

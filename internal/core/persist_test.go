@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, sims := tinyCorpus(t)
+	cfg := tinyConfig()
+	cfg.PretrainEpochs, cfg.FinetuneEpochs = 1, 1
+	cfg.PretrainPairsPerEpoch, cfg.FinetuneSamplesPerEpoch = 30, 100
+	m, _, err := Train(c, sims, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf, c.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions on a test case.
+	qi := c.Test[0]
+	cs := c.Queries[qi].Cases[0]
+	p1, p2 := m.RankCase(c, qi, cs), loaded.RankCase(c, qi, cs)
+	if len(p1) != len(p2) {
+		t.Fatalf("prediction sizes differ: %d vs %d", len(p1), len(p2))
+	}
+	for id, v := range p1 {
+		if math.Abs(p2[id]-v) > 1e-12 {
+			t.Fatalf("fact %d: %v vs %v after round trip", id, v, p2[id])
+		}
+	}
+	// Similarity heads survive too.
+	s1 := m.PredictSimilarities(c.Queries[0].SQL, c.Queries[1].SQL)
+	s2 := loaded.PredictSimilarities(c.Queries[0].SQL, c.Queries[1].SQL)
+	for metric, v := range s1 {
+		if math.Abs(s2[metric]-v) > 1e-12 {
+			t.Fatalf("%s head differs after round trip", metric)
+		}
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	c, _ := tinyCorpus(t)
+	if _, err := LoadModel(strings.NewReader("not a gob"), c.DB); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestLoadModelRejectsTamperedWeights(t *testing.T) {
+	c, sims := tinyCorpus(t)
+	cfg := tinyConfig()
+	cfg.PretrainEpochs, cfg.PretrainMetrics = 0, nil
+	cfg.FinetuneEpochs, cfg.FinetuneSamplesPerEpoch = 1, 50
+	m, _, err := Train(c, sims, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
+	if _, err := LoadModel(truncated, c.DB); err == nil {
+		t.Error("expected error for truncated payload")
+	}
+}

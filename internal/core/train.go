@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/relation"
+	"repro/internal/shapley"
+	"repro/internal/tokenizer"
+)
+
+// TrainReport records training progress and the selected checkpoints.
+type TrainReport struct {
+	PretrainDevMSE  []float64 // per-epoch dev MSE on the similarity heads
+	BestPretrainMSE float64
+	FinetuneDevNDCG []float64 // per-epoch dev NDCG@10
+	BestDevNDCG     float64
+	NumWeights      int
+}
+
+// Train runs the full LearnShapley recipe over a corpus: vocabulary building,
+// similarity pre-training (if configured), Shapley fine-tuning, and dev-set
+// checkpoint selection at both stages. trainIdx defaults to corpus.Train; a
+// subset enables the varying-log-size study of Section 5.6.
+func Train(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg ModelConfig, trainIdx []int) (*Model, *TrainReport, error) {
+	if trainIdx == nil {
+		trainIdx = c.Train
+	}
+	if len(trainIdx) == 0 {
+		return nil, nil, fmt.Errorf("core: empty training split")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sub := &dataset.Corpus{Config: c.Config, DB: c.DB, Queries: c.Queries, Train: trainIdx, Dev: c.Dev, Test: c.Test}
+	tok := buildVocabulary(sub, cfg)
+	m := newModel(cfg, tok, rng)
+	m.trainDB = c.DB
+	report := &TrainReport{NumWeights: m.params.NumWeights()}
+
+	if len(cfg.PretrainMetrics) > 0 && cfg.PretrainEpochs > 0 {
+		if err := m.pretrain(c, sims, cfg, trainIdx, rng, report); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := m.finetune(c, cfg, trainIdx, rng, report); err != nil {
+		return nil, nil, err
+	}
+	return m, report, nil
+}
+
+// tokensForQuery caches the token sequence of a corpus query.
+func (m *Model) tokensForQuery(c *dataset.Corpus, qi int) []string {
+	if t, ok := m.queryTokens[qi]; ok {
+		return t
+	}
+	t := tokenizer.TokenizeSQL(c.Queries[qi].SQL)
+	m.queryTokens[qi] = t
+	return t
+}
+
+// pretrain optimizes the similarity heads on random train-train query pairs,
+// keeping the snapshot with the lowest dev MSE (dev pairs are train×dev).
+func (m *Model) pretrain(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg ModelConfig,
+	trainIdx []int, rng *rand.Rand, report *TrainReport) error {
+	opt := nn.NewAdam(m.params, cfg.PretrainLR)
+	best := -1.0
+	var bestSnap [][]float64
+	for epoch := 0; epoch < cfg.PretrainEpochs; epoch++ {
+		batch := 0
+		for s := 0; s < cfg.PretrainPairsPerEpoch; s++ {
+			qa := trainIdx[rng.Intn(len(trainIdx))]
+			qb := trainIdx[rng.Intn(len(trainIdx))]
+			m.pretrainStep(c, sims, qa, qb, rng)
+			batch++
+			if batch == cfg.BatchSize {
+				opt.Step(batch)
+				batch = 0
+			}
+		}
+		if batch > 0 {
+			opt.Step(batch)
+		}
+		mse := m.pretrainDevMSE(c, sims, trainIdx, rng)
+		report.PretrainDevMSE = append(report.PretrainDevMSE, mse)
+		if best < 0 || mse < best {
+			best = mse
+			bestSnap = m.params.Snapshot()
+		}
+	}
+	if bestSnap != nil {
+		m.params.Restore(bestSnap)
+	}
+	report.BestPretrainMSE = best
+	return nil
+}
+
+// pretrainStep accumulates gradients of the multi-head similarity loss
+// ℓ = Σ_metric (pred - sim_metric)² with equal weights (the paper found
+// α=β=γ equal weights best), plus the optional weighted MLM objective.
+func (m *Model) pretrainStep(c *dataset.Corpus, sims *dataset.SimilarityCache, qa, qb int, rng *rand.Rand) float64 {
+	p := m.tok.Pack(m.Cfg.MaxSeqLen, 2, m.tokensForQuery(c, qa), m.tokensForQuery(c, qb))
+	var mlmPositions, mlmTargets []int
+	if m.mlmHead != nil {
+		mlmPositions, mlmTargets = m.applyMLMMask(p, rng)
+	}
+	hidden := m.enc.Forward(p.Tokens, p.Segments, p.Mask)
+	loss := 0.0
+	var total *nn.Mat
+	for _, metric := range m.Cfg.PretrainMetrics {
+		head := m.simHeads[metric]
+		pred := head.Forward(hidden)
+		target := sims.ByMetric(metric)(qa, qb)
+		diff := pred - target
+		loss += diff * diff
+		g := head.Backward(2*diff, hidden.Rows, hidden.Cols)
+		if total == nil {
+			total = g
+		} else {
+			total.AddInPlace(g)
+		}
+	}
+	if m.mlmHead != nil && len(mlmPositions) > 0 {
+		mlmLoss, g := m.mlmHead.LossAndBackward(hidden, mlmPositions, mlmTargets)
+		loss += m.Cfg.MLMWeight * mlmLoss
+		g.Scale(m.Cfg.MLMWeight)
+		if total == nil {
+			total = g
+		} else {
+			total.AddInPlace(g)
+		}
+	}
+	if total != nil {
+		m.enc.Backward(total)
+	}
+	return loss
+}
+
+// applyMLMMask corrupts the packed sequence BERT-style: 15% of real,
+// non-special positions are selected; of those, 80% become [MASK], 10% a
+// random vocabulary token, 10% stay unchanged. It returns the selected
+// positions with their original token IDs as prediction targets.
+func (m *Model) applyMLMMask(p tokenizer.Packed, rng *rand.Rand) (positions, targets []int) {
+	for i, tok := range p.Tokens {
+		if !p.Mask[i] || tok == tokenizer.ClsID || tok == tokenizer.SepID || tok == tokenizer.PadID {
+			continue
+		}
+		if rng.Float64() >= 0.15 {
+			continue
+		}
+		positions = append(positions, i)
+		targets = append(targets, tok)
+		switch r := rng.Float64(); {
+		case r < 0.8:
+			p.Tokens[i] = tokenizer.MaskID
+		case r < 0.9:
+			p.Tokens[i] = rng.Intn(m.tok.VocabSize())
+		}
+	}
+	return positions, targets
+}
+
+// pretrainDevMSE measures the mean squared similarity error on a sample of
+// train×dev pairs.
+func (m *Model) pretrainDevMSE(c *dataset.Corpus, sims *dataset.SimilarityCache, trainIdx []int, rng *rand.Rand) float64 {
+	if len(c.Dev) == 0 {
+		return 0
+	}
+	const samplePairs = 60
+	total, count := 0.0, 0
+	for s := 0; s < samplePairs; s++ {
+		qa := trainIdx[rng.Intn(len(trainIdx))]
+		qb := c.Dev[rng.Intn(len(c.Dev))]
+		p := m.tok.Pack(m.Cfg.MaxSeqLen, 2, m.tokensForQuery(c, qa), m.tokensForQuery(c, qb))
+		hidden := m.enc.Forward(p.Tokens, p.Segments, p.Mask)
+		for _, metric := range m.Cfg.PretrainMetrics {
+			pred := m.simHeads[metric].Forward(hidden)
+			diff := pred - sims.ByMetric(metric)(qa, qb)
+			total += diff * diff
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// finetuneSample is one (query, tuple, fact, target) training example.
+type finetuneSample struct {
+	query int
+	caseI int
+	fact  relation.FactID
+	gold  float64
+}
+
+// finetune optimizes the Shapley head on (q, t, f) triples, keeping the
+// snapshot with the highest dev NDCG@10.
+func (m *Model) finetune(c *dataset.Corpus, cfg ModelConfig, trainIdx []int, rng *rand.Rand, report *TrainReport) error {
+	// Materialize the sample pool once.
+	var pool []finetuneSample
+	for _, qi := range trainIdx {
+		for ci, cs := range c.Queries[qi].Cases {
+			ids := make([]relation.FactID, 0, len(cs.Gold))
+			for id := range cs.Gold {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				pool = append(pool, finetuneSample{query: qi, caseI: ci, fact: id, gold: cs.Gold[id]})
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return fmt.Errorf("core: no fine-tuning samples")
+	}
+	// Future-work extension: negative samples pair a case with a fact outside
+	// its lineage and a target of 0, teaching the model the contributing /
+	// non-contributing boundary the published system lacks.
+	if cfg.NegativeSamplesPerEpoch > 0 {
+		negatives := m.sampleNegatives(c, trainIdx, cfg.NegativeSamplesPerEpoch*cfg.FinetuneEpochs, rng)
+		pool = append(pool, negatives...)
+	}
+	opt := nn.NewAdam(m.params, cfg.FinetuneLR)
+	best := -1.0
+	var bestSnap [][]float64
+	for epoch := 0; epoch < cfg.FinetuneEpochs; epoch++ {
+		// Shuffled passes over the pool (rather than i.i.d. draws) so every
+		// (q, t, f) sample is visited with equal frequency; the ranking task
+		// is about relative order within a case, which uneven sampling
+		// distorts.
+		order := rng.Perm(len(pool))
+		steps := cfg.FinetuneSamplesPerEpoch
+		batch := 0
+		for s := 0; s < steps; s++ {
+			sm := pool[order[s%len(order)]]
+			if s > 0 && s%len(order) == 0 {
+				order = rng.Perm(len(pool))
+			}
+			q := c.Queries[sm.query]
+			cs := q.Cases[sm.caseI]
+			qToks := m.tokensForQuery(c, sm.query)
+			tToks := tokenizer.TokenizeValues(cs.Tuple.Values)
+			fToks := tokenizer.TokenizeFact(c.DB.Fact(sm.fact))
+			p := m.tok.Pack(m.Cfg.MaxSeqLen, 3, qToks, tToks, fToks)
+			hidden := m.enc.Forward(p.Tokens, p.Segments, p.Mask)
+			pred := m.shapHead.Forward(hidden)
+			diff := pred - sm.gold*cfg.TargetScale
+			g := m.shapHead.Backward(2*diff, hidden.Rows, hidden.Cols)
+			m.enc.Backward(g)
+			batch++
+			if batch == cfg.BatchSize {
+				opt.Step(batch)
+				batch = 0
+			}
+		}
+		if batch > 0 {
+			opt.Step(batch)
+		}
+		ndcg := m.devNDCG(c)
+		report.FinetuneDevNDCG = append(report.FinetuneDevNDCG, ndcg)
+		// >= so that ties keep the most-trained weights; dev sets can
+		// saturate NDCG early while test quality still improves.
+		if ndcg >= best {
+			best = ndcg
+			bestSnap = m.params.Snapshot()
+		}
+	}
+	if bestSnap != nil {
+		m.params.Restore(bestSnap)
+	}
+	report.BestDevNDCG = best
+	return nil
+}
+
+// sampleNegatives draws (case, non-lineage fact) pairs with target 0.
+func (m *Model) sampleNegatives(c *dataset.Corpus, trainIdx []int, count int, rng *rand.Rand) []finetuneSample {
+	var out []finetuneSample
+	for attempts := 0; len(out) < count && attempts < count*20; attempts++ {
+		qi := trainIdx[rng.Intn(len(trainIdx))]
+		cases := c.Queries[qi].Cases
+		if len(cases) == 0 {
+			continue
+		}
+		ci := rng.Intn(len(cases))
+		id := relation.FactID(rng.Intn(c.DB.NumFacts()))
+		if _, inLineage := cases[ci].Gold[id]; inLineage {
+			continue
+		}
+		out = append(out, finetuneSample{query: qi, caseI: ci, fact: id, gold: 0})
+	}
+	return out
+}
+
+// devNDCG evaluates mean NDCG@10 over the dev cases.
+func (m *Model) devNDCG(c *dataset.Corpus) float64 {
+	var scores []float64
+	for _, qi := range c.Dev {
+		q := c.Queries[qi]
+		for _, cs := range q.Cases {
+			pred := m.RankCase(c, qi, cs)
+			scores = append(scores, metrics.NDCGAtK(pred, cs.Gold, 10))
+		}
+	}
+	return metrics.Mean(scores)
+}
+
+// RankCase ranks the lineage of a labeled corpus case.
+func (m *Model) RankCase(c *dataset.Corpus, qi int, cs dataset.Case) shapley.Values {
+	in := Input{
+		SQL:         c.Queries[qi].SQL,
+		Query:       c.Queries[qi].Query,
+		TupleValues: cs.Tuple.Values,
+		Lineage:     cs.Tuple.Lineage(),
+	}
+	return m.Rank(in)
+}

@@ -1,0 +1,220 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/shapley"
+	"repro/internal/similarity"
+	"repro/internal/sqlparse"
+)
+
+// Kind selects which synthetic database a corpus is built over.
+type Kind int
+
+const (
+	IMDB Kind = iota
+	Academic
+)
+
+// String returns the database name as the paper spells it.
+func (k Kind) String() string {
+	if k == Academic {
+		return "Academic"
+	}
+	return "IMDB"
+}
+
+// Config parameterizes corpus construction. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	Kind             Kind
+	Seed             int64
+	Scale            Scale
+	NumQueries       int
+	MaxResults       int // acceptance cap on result cardinality
+	MaxCasesPerQuery int // output tuples labeled with exact Shapley values
+	MaxLineage       int // tuples with larger lineages are not labeled
+	RankTuples       int // tuples per query used by rank-based similarity
+}
+
+// DefaultConfig returns the bench-scale configuration for a database kind.
+func DefaultConfig(kind Kind) Config {
+	return Config{
+		Kind:             kind,
+		Seed:             1,
+		Scale:            Scale{Base: 1},
+		NumQueries:       40,
+		MaxResults:       300,
+		MaxCasesPerQuery: 12,
+		MaxLineage:       100,
+		RankTuples:       8,
+	}
+}
+
+// Case is one labeled (query, output tuple) pair: the tuple, its provenance
+// (inside the tuple), and the exact Shapley value of every lineage fact.
+type Case struct {
+	Tuple *engine.OutputTuple
+	Gold  shapley.Values
+}
+
+// QueryEntry is one query of the log with everything the experiments need.
+type QueryEntry struct {
+	ID        int
+	SQL       string
+	Query     *sqlparse.Query
+	Result    *engine.Result
+	Witness   map[string]bool
+	Cases     []Case
+	NumTables int
+	// TotalFacts is Σ over all result tuples of their lineage size — the
+	// "contributing facts" count of Table 1.
+	TotalFacts int
+}
+
+// Rankings returns the per-tuple fact rankings used by rank-based similarity,
+// capped at the configured number of tuples.
+func (q *QueryEntry) Rankings(cap int) []similarity.TupleRanking {
+	n := len(q.Cases)
+	if cap > 0 && n > cap {
+		n = cap
+	}
+	out := make([]similarity.TupleRanking, n)
+	for i := 0; i < n; i++ {
+		out[i] = similarity.TupleRanking{TupleKey: q.Cases[i].Tuple.Key(), Scores: q.Cases[i].Gold}
+	}
+	return out
+}
+
+// Corpus is a DBShap-style labeled query log with its train/dev/test split.
+type Corpus struct {
+	Config  Config
+	DB      *relation.Database
+	Queries []*QueryEntry
+	Train   []int
+	Dev     []int
+	Test    []int
+}
+
+// Build generates the database, the workload, and the Shapley labels — the
+// offline pipeline of Figure 6. Deterministic in Config.Seed.
+func Build(cfg Config) (*Corpus, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var db *relation.Database
+	var templates []template
+	switch cfg.Kind {
+	case IMDB:
+		db = GenIMDB(cfg.Seed+1000, cfg.Scale)
+		templates = imdbTemplates()
+	case Academic:
+		db = GenAcademic(cfg.Seed+2000, cfg.Scale)
+		templates = academicTemplates()
+	default:
+		return nil, fmt.Errorf("dataset: unknown kind %d", cfg.Kind)
+	}
+	sqls, err := GenerateWorkload(db, templates, cfg.NumQueries, cfg.MaxResults, rng)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{Config: cfg, DB: db}
+	for i, sql := range sqls {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: re-parse %q: %w", sql, err)
+		}
+		res, err := engine.Evaluate(db, q)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: evaluate %q: %w", sql, err)
+		}
+		entry := &QueryEntry{
+			ID:        i,
+			SQL:       sql,
+			Query:     q,
+			Result:    res,
+			Witness:   res.WitnessKeys(),
+			NumTables: len(q.Tables()),
+		}
+		for _, t := range res.Tuples {
+			entry.TotalFacts += len(t.Lineage())
+		}
+		// Sample the tuples to label. Tuples with several derivations have a
+		// non-uniform Shapley profile and carry the ranking signal, so they
+		// are labeled first; single-derivation tuples (where every fact ties
+		// at 1/n and any ranking is perfect) only fill remaining capacity.
+		perm := rng.Perm(len(res.Tuples))
+		for _, interesting := range []bool{true, false} {
+			for _, ti := range perm {
+				if len(entry.Cases) >= cfg.MaxCasesPerQuery {
+					break
+				}
+				t := res.Tuples[ti]
+				if (len(t.Prov.Monomials) >= 2) != interesting {
+					continue
+				}
+				if len(t.Lineage()) > cfg.MaxLineage {
+					continue
+				}
+				gold, _, err := shapley.Exact(t.Prov)
+				if err != nil {
+					continue
+				}
+				entry.Cases = append(entry.Cases, Case{Tuple: t, Gold: gold})
+			}
+		}
+		c.Queries = append(c.Queries, entry)
+	}
+	c.split(rng)
+	return c, nil
+}
+
+// split shuffles query indices into 70/10/20 train/dev/test, the paper's
+// protocol.
+func (c *Corpus) split(rng *rand.Rand) {
+	perm := rng.Perm(len(c.Queries))
+	n := len(perm)
+	nTrain := n * 70 / 100
+	nDev := n * 10 / 100
+	if nDev == 0 && n >= 3 {
+		nDev = 1
+	}
+	c.Train = append([]int(nil), perm[:nTrain]...)
+	c.Dev = append([]int(nil), perm[nTrain:nTrain+nDev]...)
+	c.Test = append([]int(nil), perm[nTrain+nDev:]...)
+}
+
+// SplitStats are the Table 1 statistics of one split.
+type SplitStats struct {
+	Queries int
+	Results int
+	Facts   int
+}
+
+// Stats computes Table 1 rows for the given split indices.
+func (c *Corpus) Stats(split []int) SplitStats {
+	var s SplitStats
+	for _, qi := range split {
+		q := c.Queries[qi]
+		s.Queries++
+		s.Results += len(q.Result.Tuples)
+		s.Facts += q.TotalFacts
+	}
+	return s
+}
+
+// TrainFactIDs returns the set of facts appearing in the lineage of any
+// labeled training case; the complement on test cases is the "unseen facts"
+// population of Section 5.7.
+func (c *Corpus) TrainFactIDs() map[relation.FactID]bool {
+	seen := make(map[relation.FactID]bool)
+	for _, qi := range c.Train {
+		for _, cs := range c.Queries[qi].Cases {
+			for id := range cs.Gold {
+				seen[id] = true
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	orig := buildSmall(t, IMDB)
+	var buf bytes.Buffer
+	if err := orig.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DB.NumFacts() != orig.DB.NumFacts() {
+		t.Fatalf("facts: %d vs %d", got.DB.NumFacts(), orig.DB.NumFacts())
+	}
+	if len(got.Queries) != len(orig.Queries) {
+		t.Fatalf("queries: %d vs %d", len(got.Queries), len(orig.Queries))
+	}
+	for i, q := range orig.Queries {
+		g := got.Queries[i]
+		if g.SQL != q.SQL {
+			t.Fatalf("query %d SQL differs", i)
+		}
+		if len(g.Result.Tuples) != len(q.Result.Tuples) {
+			t.Fatalf("query %d result sizes differ", i)
+		}
+		if len(g.Cases) != len(q.Cases) {
+			t.Fatalf("query %d case counts differ", i)
+		}
+		for ci, cs := range q.Cases {
+			gc := g.Cases[ci]
+			if gc.Tuple.Key() != cs.Tuple.Key() {
+				t.Fatalf("query %d case %d tuple differs", i, ci)
+			}
+			for id, v := range cs.Gold {
+				if math.Abs(gc.Gold[id]-v) > 1e-12 {
+					t.Fatalf("query %d case %d fact %d: %v vs %v", i, ci, id, gc.Gold[id], v)
+				}
+			}
+		}
+	}
+	// Splits preserved.
+	for i := range orig.Train {
+		if got.Train[i] != orig.Train[i] {
+			t.Fatal("train split differs")
+		}
+	}
+	// Stats identical.
+	all := append(append(append([]int(nil), orig.Train...), orig.Dev...), orig.Test...)
+	if got.Stats(all) != orig.Stats(all) {
+		t.Fatalf("stats differ: %+v vs %+v", got.Stats(all), orig.Stats(all))
+	}
+}
+
+func TestImportRejectsCorruptedFile(t *testing.T) {
+	orig := buildSmall(t, IMDB)
+	var buf bytes.Buffer
+	if err := orig.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a stored tuple key.
+	s := strings.Replace(buf.String(), `"tuple_key": "`, `"tuple_key": "CORRUPTED`, 1)
+	if _, err := Import(strings.NewReader(s)); err == nil {
+		t.Error("expected integrity error for corrupted tuple key")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := Import(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := Import(strings.NewReader(`{"queries":[{"sql":"NOT SQL"}]}`)); err == nil {
+		t.Error("expected parse error for bad SQL")
+	}
+}

@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"repro/internal/similarity"
+)
+
+// SimilarityCache memoizes pairwise query-similarity scores over a corpus.
+// Rank-based similarity is by far the most expensive (Kendall tau over a
+// bipartite tuple alignment), so all three metrics are computed lazily.
+// The cache is not safe for concurrent use.
+type SimilarityCache struct {
+	c       *Corpus
+	syntax  map[[2]int]float64
+	witness map[[2]int]float64
+	rank    map[[2]int]float64
+}
+
+// NewSimilarityCache returns an empty cache over the corpus.
+func NewSimilarityCache(c *Corpus) *SimilarityCache {
+	return &SimilarityCache{
+		c:       c,
+		syntax:  make(map[[2]int]float64),
+		witness: make(map[[2]int]float64),
+		rank:    make(map[[2]int]float64),
+	}
+}
+
+func key(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+// Syntax returns sim_s between queries i and j of the corpus.
+func (s *SimilarityCache) Syntax(i, j int) float64 {
+	k := key(i, j)
+	if v, ok := s.syntax[k]; ok {
+		return v
+	}
+	v := similarity.Syntax(s.c.Queries[k[0]].Query, s.c.Queries[k[1]].Query)
+	s.syntax[k] = v
+	return v
+}
+
+// Witness returns sim_w between queries i and j of the corpus.
+func (s *SimilarityCache) Witness(i, j int) float64 {
+	k := key(i, j)
+	if v, ok := s.witness[k]; ok {
+		return v
+	}
+	v := similarity.Witness(s.c.Queries[k[0]].Witness, s.c.Queries[k[1]].Witness)
+	s.witness[k] = v
+	return v
+}
+
+// Rank returns sim_r between queries i and j of the corpus, computed over
+// the configured per-query tuple cap.
+func (s *SimilarityCache) Rank(i, j int) float64 {
+	k := key(i, j)
+	if v, ok := s.rank[k]; ok {
+		return v
+	}
+	cap := s.c.Config.RankTuples
+	v := similarity.RankBased(s.c.Queries[k[0]].Rankings(cap), s.c.Queries[k[1]].Rankings(cap))
+	s.rank[k] = v
+	return v
+}
+
+// ByMetric returns the similarity function for a metric name: "syntax",
+// "witness" or "rank".
+func (s *SimilarityCache) ByMetric(metric string) func(i, j int) float64 {
+	switch metric {
+	case "witness":
+		return s.Witness
+	case "rank":
+		return s.Rank
+	default:
+		return s.Syntax
+	}
+}

@@ -1,0 +1,271 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+// selCol describes a column a template may filter on.
+type selCol struct {
+	ref  string   // "rel.col"
+	ops  []string // applicable operators
+	like bool     // string column suitable for LIKE prefix filters
+}
+
+// template is a hand-authored join chain; the generator instantiates it with
+// a random projection and random selections whose constants are sampled from
+// the database, so generated queries are satisfiable by construction most of
+// the time (an acceptance filter discards the rest).
+type template struct {
+	projections []string
+	from        []string
+	joins       []string
+	selections  []selCol
+}
+
+func imdbTemplates() []template {
+	return []template{
+		{
+			projections: []string{"movies.title"},
+			from:        []string{"movies"},
+			selections: []selCol{
+				{ref: "movies.year", ops: []string{"=", ">", "<"}},
+				{ref: "movies.company", ops: []string{"="}},
+			},
+		},
+		{
+			projections: []string{"movies.title", "companies.name"},
+			from:        []string{"movies", "companies"},
+			joins:       []string{"movies.company = companies.name"},
+			selections: []selCol{
+				{ref: "companies.country", ops: []string{"="}},
+				{ref: "movies.year", ops: []string{"=", ">", "<"}},
+			},
+		},
+		{
+			projections: []string{"actors.name", "movies.title", "actors.age"},
+			from:        []string{"movies", "roles", "actors"},
+			joins:       []string{"movies.title = roles.movie", "actors.name = roles.actor"},
+			selections: []selCol{
+				{ref: "movies.year", ops: []string{"=", ">", "<"}},
+				{ref: "actors.age", ops: []string{">", "<"}},
+				{ref: "actors.name", ops: []string{"LIKE"}, like: true},
+			},
+		},
+		{
+			projections: []string{"actors.name", "movies.title", "companies.name", "actors.age"},
+			from:        []string{"movies", "actors", "companies", "roles"},
+			joins: []string{
+				"movies.title = roles.movie",
+				"actors.name = roles.actor",
+				"movies.company = companies.name",
+			},
+			selections: []selCol{
+				{ref: "companies.country", ops: []string{"="}},
+				{ref: "movies.year", ops: []string{"=", ">", "<"}},
+				{ref: "actors.age", ops: []string{">", "<"}},
+				{ref: "actors.name", ops: []string{"LIKE"}, like: true},
+			},
+		},
+		{
+			projections: []string{"actors.name"},
+			from:        []string{"actors"},
+			selections: []selCol{
+				{ref: "actors.age", ops: []string{">", "<", "="}},
+				{ref: "actors.name", ops: []string{"LIKE"}, like: true},
+			},
+		},
+		{
+			projections: []string{"companies.name"},
+			from:        []string{"companies"},
+			selections:  []selCol{{ref: "companies.country", ops: []string{"="}}},
+		},
+	}
+}
+
+func academicTemplates() []template {
+	return []template{
+		{
+			projections: []string{"author.name"},
+			from:        []string{"author"},
+			selections: []selCol{
+				{ref: "author.paper_count", ops: []string{">", "<"}},
+				{ref: "author.citation_count", ops: []string{">", "<"}},
+			},
+		},
+		{
+			projections: []string{"author.name", "organization.name"},
+			from:        []string{"author", "organization"},
+			joins:       []string{"author.org = organization.name"},
+			selections: []selCol{
+				{ref: "organization.country", ops: []string{"="}},
+				{ref: "author.citation_count", ops: []string{">", "<"}},
+				{ref: "author.name", ops: []string{"LIKE"}, like: true},
+			},
+		},
+		{
+			projections: []string{"author.name", "publication.title"},
+			from:        []string{"writes", "author", "publication"},
+			joins:       []string{"writes.author = author.name", "writes.pub = publication.title"},
+			selections: []selCol{
+				{ref: "publication.year", ops: []string{"=", ">", "<"}},
+				{ref: "author.paper_count", ops: []string{">", "<"}},
+			},
+		},
+		{
+			projections: []string{"publication.title", "conference.name"},
+			from:        []string{"publication", "conference"},
+			joins:       []string{"publication.conf = conference.name"},
+			selections: []selCol{
+				{ref: "publication.year", ops: []string{"=", ">", "<"}},
+				{ref: "conference.domain_count", ops: []string{"="}},
+			},
+		},
+		{
+			projections: []string{"domain.name", "conference.name", "publication.title"},
+			from:        []string{"publication", "conference", "domain_conference", "domain"},
+			joins: []string{
+				"publication.conf = conference.name",
+				"domain_conference.conf = conference.name",
+				"domain_conference.domain = domain.name",
+			},
+			selections: []selCol{
+				{ref: "publication.year", ops: []string{"=", ">", "<"}},
+				{ref: "domain.name", ops: []string{"="}},
+			},
+		},
+		{
+			projections: []string{"domain.name", "author.name", "organization.name"},
+			from: []string{
+				"author", "organization", "writes", "publication",
+				"conference", "domain_conference", "domain",
+			},
+			joins: []string{
+				"author.org = organization.name",
+				"writes.author = author.name",
+				"writes.pub = publication.title",
+				"publication.conf = conference.name",
+				"domain_conference.conf = conference.name",
+				"domain_conference.domain = domain.name",
+			},
+			selections: []selCol{
+				{ref: "organization.country", ops: []string{"="}},
+				{ref: "publication.year", ops: []string{">", "<"}},
+				{ref: "author.paper_count", ops: []string{">", "<"}},
+				{ref: "author.citation_count", ops: []string{">", "<"}},
+			},
+		},
+	}
+}
+
+// sampleColumnValue draws the value of ref from a uniformly random fact.
+func sampleColumnValue(db *relation.Database, ref string, rng *rand.Rand) (relation.Value, error) {
+	parts := strings.SplitN(ref, ".", 2)
+	rel, ok := db.Relation(parts[0])
+	if !ok {
+		return relation.Null(), fmt.Errorf("dataset: unknown relation %q", parts[0])
+	}
+	ci, ok := rel.Schema.ColumnIndex(parts[1])
+	if !ok {
+		return relation.Null(), fmt.Errorf("dataset: unknown column %q", ref)
+	}
+	if len(rel.Facts) == 0 {
+		return relation.Null(), fmt.Errorf("dataset: relation %q is empty", parts[0])
+	}
+	return rel.Facts[rng.Intn(len(rel.Facts))].Values[ci], nil
+}
+
+// renderSelection builds one WHERE conjunct for the column.
+func renderSelection(db *relation.Database, sc selCol, rng *rand.Rand) (string, error) {
+	v, err := sampleColumnValue(db, sc.ref, rng)
+	if err != nil {
+		return "", err
+	}
+	op := sc.ops[rng.Intn(len(sc.ops))]
+	if op == "LIKE" {
+		s := v.AsString()
+		if s == "" {
+			return "", fmt.Errorf("dataset: empty string for LIKE")
+		}
+		return fmt.Sprintf("%s LIKE '%s%%'", sc.ref, s[:1]), nil
+	}
+	if v.Kind() == relation.KindString {
+		return fmt.Sprintf("%s %s '%s'", sc.ref, op, v.AsString()), nil
+	}
+	return fmt.Sprintf("%s %s %s", sc.ref, op, v.String()), nil
+}
+
+// instantiate renders one SELECT from the template.
+func (t template) instantiate(db *relation.Database, rng *rand.Rand) (string, error) {
+	proj := t.projections[rng.Intn(len(t.projections))]
+	preds := append([]string(nil), t.joins...)
+	nSel := 1 + rng.Intn(2)
+	if len(t.selections) < nSel {
+		nSel = len(t.selections)
+	}
+	for _, i := range rng.Perm(len(t.selections))[:nSel] {
+		s, err := renderSelection(db, t.selections[i], rng)
+		if err != nil {
+			return "", err
+		}
+		preds = append(preds, s)
+	}
+	sql := fmt.Sprintf("SELECT DISTINCT %s FROM %s", proj, strings.Join(t.from, ", "))
+	if len(preds) > 0 {
+		sql += " WHERE " + strings.Join(preds, " AND ")
+	}
+	return sql, nil
+}
+
+// GenerateWorkload produces numQueries distinct SPJU queries over the
+// database that each return between 1 and maxResults tuples. Roughly one in
+// five generated queries is a UNION of two instantiations of the same
+// template (matching arities by construction).
+func GenerateWorkload(db *relation.Database, templates []template, numQueries, maxResults int, rng *rand.Rand) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	attempts := 0
+	maxAttempts := numQueries * 400
+	for len(out) < numQueries {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("dataset: workload generation stalled at %d/%d queries", len(out), numQueries)
+		}
+		t := templates[rng.Intn(len(templates))]
+		sql, err := t.instantiate(db, rng)
+		if err != nil {
+			continue
+		}
+		if rng.Intn(5) == 0 {
+			other, err := t.instantiate(db, rng)
+			if err == nil {
+				q1, e1 := sqlparse.Parse(sql)
+				q2, e2 := sqlparse.Parse(other)
+				if e1 == nil && e2 == nil &&
+					q1.Selects[0].Projections[0] == q2.Selects[0].Projections[0] {
+					sql = sql + " UNION " + other
+				}
+			}
+		}
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			continue
+		}
+		canonical := q.SQL()
+		if seen[canonical] {
+			continue
+		}
+		res, err := engine.Evaluate(db, q)
+		if err != nil || len(res.Tuples) == 0 || len(res.Tuples) > maxResults {
+			continue
+		}
+		seen[canonical] = true
+		out = append(out, canonical)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/paperdb"
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+func TestEvaluateLikePrefix(t *testing.T) {
+	db, _ := paperdb.New()
+	res := mustEval(t, db, `SELECT actors.name FROM actors WHERE actors.name LIKE 'B%'`)
+	if len(res.Tuples) != 1 || res.Tuples[0].Values[0].AsString() != "Bob" {
+		t.Errorf("LIKE 'B%%' = %v", tupleStrings(res))
+	}
+	// Exact LIKE without wildcard behaves as equality.
+	res = mustEval(t, db, `SELECT actors.name FROM actors WHERE actors.name LIKE 'Alice'`)
+	if len(res.Tuples) != 1 {
+		t.Errorf("LIKE 'Alice' = %v", tupleStrings(res))
+	}
+}
+
+func TestEvaluateGroupByPath(t *testing.T) {
+	db, _ := paperdb.New()
+	res := mustEval(t, db, `SELECT companies.country FROM companies GROUP BY companies.country`)
+	if len(res.Tuples) != 2 { // USA, France
+		t.Errorf("GROUP BY = %v", tupleStrings(res))
+	}
+	// Provenance of the USA group must OR the three US companies.
+	for _, tp := range res.Tuples {
+		if tp.Values[0].AsString() == "USA" && len(tp.Prov.Monomials) != 3 {
+			t.Errorf("USA group provenance = %v", tp.Prov)
+		}
+	}
+}
+
+func TestEvaluateNumericComparisons(t *testing.T) {
+	db, _ := paperdb.New()
+	cases := map[string]int{
+		`SELECT actors.name FROM actors WHERE actors.age >= 33`: 2, // Alice 45, Carol 33
+		`SELECT actors.name FROM actors WHERE actors.age != 30`: 3,
+		`SELECT actors.name FROM actors WHERE actors.age <= 23`: 1,
+	}
+	for sql, want := range cases {
+		res := mustEval(t, db, sql)
+		if len(res.Tuples) != want {
+			t.Errorf("%s -> %v (want %d)", sql, tupleStrings(res), want)
+		}
+	}
+}
+
+func TestEvaluateMultiColumnProjection(t *testing.T) {
+	db, _ := paperdb.New()
+	res := mustEval(t, db, `SELECT movies.title, companies.country FROM movies, companies WHERE movies.company = companies.name AND movies.year = 2006`)
+	if len(res.Tuples) != 1 {
+		t.Fatalf("result = %v", tupleStrings(res))
+	}
+	got := res.Tuples[0]
+	if got.Values[0].AsString() != "Batman" || got.Values[1].AsString() != "USA" {
+		t.Errorf("tuple = %v", got)
+	}
+	// Lineage carries exactly the movie and company facts.
+	if n := len(got.Lineage()); n != 2 {
+		t.Errorf("lineage size = %d", n)
+	}
+}
+
+func TestEvaluateFloatLiteralAgainstIntColumn(t *testing.T) {
+	db := relation.NewDatabase()
+	if _, err := db.AddRelation(relation.MustSchema("t", relation.Column{Name: "x", Type: relation.KindInt})); err != nil {
+		t.Fatal(err)
+	}
+	db.MustInsert("t", relation.Int(2))
+	db.MustInsert("t", relation.Int(3))
+	res := mustEval(t, db, `SELECT t.x FROM t WHERE t.x > 2.5`)
+	if len(res.Tuples) != 1 || res.Tuples[0].Values[0].AsInt() != 3 {
+		t.Errorf("cross-type comparison = %v", tupleStrings(res))
+	}
+}
+
+func TestEvaluateResultDeterministicOrder(t *testing.T) {
+	db, _ := paperdb.New()
+	q := sqlparse.MustParse(paperdb.QInf)
+	first, err := Evaluate(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := Evaluate(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Tuples) != len(first.Tuples) {
+			t.Fatal("tuple count varies")
+		}
+		for j := range first.Tuples {
+			if first.Tuples[j].Key() != again.Tuples[j].Key() {
+				t.Fatalf("order varies at %d", j)
+			}
+			if first.Tuples[j].Prov.Key() != again.Tuples[j].Prov.Key() {
+				t.Fatalf("provenance varies at %d", j)
+			}
+		}
+	}
+}
+
+func TestEvaluateEmptyRelation(t *testing.T) {
+	db := relation.NewDatabase()
+	if _, err := db.AddRelation(relation.MustSchema("empty", relation.Column{Name: "x", Type: relation.KindInt})); err != nil {
+		t.Fatal(err)
+	}
+	res := mustEval(t, db, `SELECT empty.x FROM empty`)
+	if len(res.Tuples) != 0 {
+		t.Errorf("empty relation produced %v", tupleStrings(res))
+	}
+}
+
+func TestEvaluateJoinOnEmptySide(t *testing.T) {
+	db := relation.NewDatabase()
+	for _, name := range []string{"a", "b"} {
+		if _, err := db.AddRelation(relation.MustSchema(name, relation.Column{Name: "x", Type: relation.KindInt})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.MustInsert("a", relation.Int(1))
+	res := mustEval(t, db, `SELECT a.x FROM a, b WHERE a.x = b.x`)
+	if len(res.Tuples) != 0 {
+		t.Errorf("join with empty side produced %v", tupleStrings(res))
+	}
+}

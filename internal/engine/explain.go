@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+// Explain renders the evaluation plan the engine would execute for the query:
+// per-branch base scans with pushed-down selections (and their post-filter
+// cardinalities), the greedy join order with the join predicates each step
+// uses, and the residual filters. It never executes the joins.
+func Explain(db *relation.Database, q *sqlparse.Query) (string, error) {
+	var b strings.Builder
+	for bi := range q.Selects {
+		s := &q.Selects[bi]
+		p, err := buildPlan(db, s)
+		if err != nil {
+			return "", fmt.Errorf("engine: branch %d: %w", bi, err)
+		}
+		if len(q.Selects) > 1 {
+			fmt.Fprintf(&b, "UNION branch %d:\n", bi)
+		}
+		explainBranch(&b, p, s)
+	}
+	return b.String(), nil
+}
+
+func explainBranch(b *strings.Builder, p *plan, s *sqlparse.SelectStmt) {
+	for i, name := range s.From {
+		rel, _ := p.db.Relation(name)
+		fmt.Fprintf(b, "  scan %-18s %6d/%d rows after pushdown\n",
+			name, len(p.base[i]), len(rel.Facts))
+	}
+	// Replay the greedy join-order decision without materializing rows.
+	joined := make([]bool, len(p.base))
+	start := 0
+	for i := 1; i < len(p.base); i++ {
+		if len(p.base[i]) < len(p.base[start]) {
+			start = i
+		}
+	}
+	joined[start] = true
+	fmt.Fprintf(b, "  start with %s\n", s.From[start])
+	for done := 1; done < len(p.base); done++ {
+		next := p.pickNext(joined)
+		var preds []string
+		for _, j := range p.joins {
+			if (j.left.fromIdx == next && joined[j.right.fromIdx]) ||
+				(j.right.fromIdx == next && joined[j.left.fromIdx]) {
+				preds = append(preds, j.pred.String())
+			}
+		}
+		joined[next] = true
+		if len(preds) > 0 {
+			fmt.Fprintf(b, "  hash join %-12s on %s\n", s.From[next], strings.Join(preds, " AND "))
+		} else {
+			fmt.Fprintf(b, "  cross join %-12s (no connecting predicate)\n", s.From[next])
+		}
+	}
+	for _, f := range p.filters {
+		fmt.Fprintf(b, "  filter %s\n", f.pred.String())
+	}
+	var projs []string
+	for _, pr := range s.Projections {
+		projs = append(projs, pr.String())
+	}
+	distinct := ""
+	if s.Distinct {
+		distinct = " DISTINCT"
+	}
+	fmt.Fprintf(b, "  project%s %s\n", distinct, strings.Join(projs, ", "))
+}

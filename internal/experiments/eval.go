@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// CaseScore is the evaluation of one (query, output tuple) pair.
+type CaseScore struct {
+	QueryIdx    int
+	CaseIdx     int
+	NDCG10      float64
+	P1, P3, P5  float64
+	LineageSize int
+	NumTables   int
+	InferenceMS float64
+}
+
+// EvalResult aggregates ranking quality over a split.
+type EvalResult struct {
+	Method   string
+	NDCG10   float64
+	P1       float64
+	P3       float64
+	P5       float64
+	PerCase  []CaseScore
+	AvgMS    float64
+	MaxMS    float64
+	NumCases int
+}
+
+// inputFor assembles the Ranker input of a labeled corpus case.
+func inputFor(c *dataset.Corpus, qi int, cs dataset.Case) core.Input {
+	return core.Input{
+		SQL:         c.Queries[qi].SQL,
+		Query:       c.Queries[qi].Query,
+		TupleValues: cs.Tuple.Values,
+		Lineage:     cs.Tuple.Lineage(),
+		Witness:     c.Queries[qi].Witness,
+	}
+}
+
+// evaluateRanker scores a ranker over the labeled cases of the given query
+// split, capped at maxCases pairs.
+func evaluateRanker(c *dataset.Corpus, r core.Ranker, split []int, maxCases int) EvalResult {
+	res := EvalResult{Method: r.Name()}
+	for _, qi := range split {
+		q := c.Queries[qi]
+		for ci, cs := range q.Cases {
+			if maxCases > 0 && res.NumCases >= maxCases {
+				break
+			}
+			in := inputFor(c, qi, cs)
+			start := time.Now()
+			pred := r.Rank(in)
+			elapsed := float64(time.Since(start).Microseconds()) / 1000.0
+			score := CaseScore{
+				QueryIdx:    qi,
+				CaseIdx:     ci,
+				NDCG10:      metrics.NDCGAtK(pred, cs.Gold, 10),
+				P1:          metrics.PrecisionAtK(pred, cs.Gold, 1),
+				P3:          metrics.PrecisionAtK(pred, cs.Gold, 3),
+				P5:          metrics.PrecisionAtK(pred, cs.Gold, 5),
+				LineageSize: len(cs.Gold),
+				NumTables:   q.NumTables,
+				InferenceMS: elapsed,
+			}
+			res.PerCase = append(res.PerCase, score)
+			res.NDCG10 += score.NDCG10
+			res.P1 += score.P1
+			res.P3 += score.P3
+			res.P5 += score.P5
+			res.AvgMS += elapsed
+			if elapsed > res.MaxMS {
+				res.MaxMS = elapsed
+			}
+			res.NumCases++
+		}
+	}
+	if res.NumCases > 0 {
+		n := float64(res.NumCases)
+		res.NDCG10 /= n
+		res.P1 /= n
+		res.P3 /= n
+		res.P5 /= n
+		res.AvgMS /= n
+	}
+	return res
+}

@@ -1,0 +1,118 @@
+// Package hungarian implements the Hungarian algorithm (Kuhn-Munkres with
+// dual potentials, O(n²m)) for maximum-weight bipartite matching, as needed
+// by the rank-based query similarity: aligning the output tuples of two
+// queries so that matched tuples have maximally similar fact rankings.
+package hungarian
+
+import "math"
+
+// MaxWeightMatching finds a matching of maximum total weight in the complete
+// bipartite graph whose edge weights are given by weight[i][j] (rows = left
+// side, columns = right side). Weights must be finite; negative weights are
+// allowed but a pair is only matched if doing so does not reduce the total,
+// i.e. the returned matching contains only strictly positive edges.
+//
+// It returns match (match[i] = column matched to row i, or -1) and the total
+// weight of the returned matching.
+func MaxWeightMatching(weight [][]float64) (match []int, total float64) {
+	n := len(weight)
+	match = make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	if n == 0 {
+		return match, 0
+	}
+	m := len(weight[0])
+	if m == 0 {
+		return match, 0
+	}
+	// Pad to rows ≤ columns by transposing if needed.
+	if n > m {
+		t := make([][]float64, m)
+		for j := 0; j < m; j++ {
+			t[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				t[j][i] = weight[i][j]
+			}
+		}
+		tMatch, tTotal := MaxWeightMatching(t)
+		for j, i := range tMatch {
+			if i >= 0 {
+				match[i] = j
+			}
+		}
+		return match, tTotal
+	}
+	// Minimize cost = -weight, clamped at 0 so unprofitable edges behave as
+	// "leave unmatched" (a zero-cost padding assignment).
+	cost := func(i, j int) float64 {
+		c := -weight[i][j]
+		if c > 0 {
+			return 0
+		}
+		return c
+	}
+	// Standard O(n²m) assignment with potentials; 1-indexed internals.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row assigned to column j
+	way := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	for j := 1; j <= m; j++ {
+		if p[j] == 0 {
+			continue
+		}
+		i := p[j] - 1
+		if weight[i][j-1] > 0 {
+			match[i] = j - 1
+			total += weight[i][j-1]
+		}
+	}
+	return match, total
+}

@@ -1,0 +1,143 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce enumerates all matchings of rows to columns recursively and
+// returns the maximum total weight using only strictly positive edges.
+func bruteForce(weight [][]float64) float64 {
+	n := len(weight)
+	if n == 0 {
+		return 0
+	}
+	m := len(weight[0])
+	usedCols := make([]bool, m)
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == n {
+			return 0
+		}
+		best := rec(i + 1) // leave row i unmatched
+		for j := 0; j < m; j++ {
+			if usedCols[j] || weight[i][j] <= 0 {
+				continue
+			}
+			usedCols[j] = true
+			if v := weight[i][j] + rec(i+1); v > best {
+				best = v
+			}
+			usedCols[j] = false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestMaxWeightMatchingSimple(t *testing.T) {
+	w := [][]float64{
+		{0.9, 0.1},
+		{0.8, 0.7},
+	}
+	match, total := MaxWeightMatching(w)
+	// Optimal: row0->col0 (0.9) + row1->col1 (0.7) = 1.6.
+	if math.Abs(total-1.6) > 1e-12 {
+		t.Errorf("total = %v, want 1.6 (match %v)", total, match)
+	}
+	if match[0] != 0 || match[1] != 1 {
+		t.Errorf("match = %v", match)
+	}
+}
+
+func TestMaxWeightMatchingGreedyTrap(t *testing.T) {
+	// Greedy picks (0,0)=10 then (1,1)=1 = 11; optimal is (0,1)+(1,0) = 9+8 = 17.
+	w := [][]float64{
+		{10, 9},
+		{8, 1},
+	}
+	_, total := MaxWeightMatching(w)
+	if math.Abs(total-17) > 1e-12 {
+		t.Errorf("total = %v, want 17", total)
+	}
+}
+
+func TestMaxWeightMatchingRectangular(t *testing.T) {
+	// More rows than columns and vice versa.
+	wide := [][]float64{{1, 2, 3}}
+	match, total := MaxWeightMatching(wide)
+	if total != 3 || match[0] != 2 {
+		t.Errorf("wide: match = %v, total = %v", match, total)
+	}
+	tall := [][]float64{{1}, {5}, {2}}
+	match, total = MaxWeightMatching(tall)
+	if total != 5 || match[1] != 0 || match[0] != -1 || match[2] != -1 {
+		t.Errorf("tall: match = %v, total = %v", match, total)
+	}
+}
+
+func TestMaxWeightMatchingSkipsZeroEdges(t *testing.T) {
+	w := [][]float64{
+		{0, 0},
+		{0, 0.5},
+	}
+	match, total := MaxWeightMatching(w)
+	if total != 0.5 {
+		t.Errorf("total = %v", total)
+	}
+	if match[0] != -1 {
+		t.Errorf("zero-weight row should stay unmatched: %v", match)
+	}
+}
+
+func TestMaxWeightMatchingEmpty(t *testing.T) {
+	match, total := MaxWeightMatching(nil)
+	if len(match) != 0 || total != 0 {
+		t.Errorf("empty: %v, %v", match, total)
+	}
+	match, total = MaxWeightMatching([][]float64{})
+	if len(match) != 0 || total != 0 {
+		t.Errorf("empty rows: %v, %v", match, total)
+	}
+}
+
+func TestMaxWeightMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 300; trial++ {
+		n, m := 1+rng.Intn(6), 1+rng.Intn(6)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, m)
+			for j := range w[i] {
+				// Mix of zeros and positive weights, like similarity scores.
+				if rng.Intn(3) == 0 {
+					w[i][j] = 0
+				} else {
+					w[i][j] = float64(rng.Intn(100)) / 100
+				}
+			}
+		}
+		want := bruteForce(w)
+		match, total := MaxWeightMatching(w)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: total = %v, want %v for %v", trial, total, want, w)
+		}
+		// Verify the matching is consistent: no column used twice, totals add up.
+		seen := make(map[int]bool)
+		sum := 0.0
+		for i, j := range match {
+			if j < 0 {
+				continue
+			}
+			if seen[j] {
+				t.Fatalf("trial %d: column %d matched twice", trial, j)
+			}
+			seen[j] = true
+			sum += w[i][j]
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("trial %d: reported total %v != recomputed %v", trial, total, sum)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"math/rand"
+)
+
+// Config sizes a transformer encoder. The paper's BERT-base/BERT-large map to
+// two instances of this config at CPU-trainable scale (see DESIGN.md).
+type Config struct {
+	VocabSize int
+	MaxSeqLen int
+	Dim       int
+	Heads     int
+	Layers    int
+	FFNHidden int
+	Segments  int // number of segment (sentence) embeddings, ≥ 2
+}
+
+// Validate fills defaults and panics on inconsistent settings.
+func (c *Config) Validate() {
+	if c.Segments == 0 {
+		c.Segments = 2
+	}
+	if c.FFNHidden == 0 {
+		c.FFNHidden = 4 * c.Dim
+	}
+	if c.Dim%c.Heads != 0 {
+		panic("nn: Dim must be divisible by Heads")
+	}
+}
+
+// Encoder is a BERT-style transformer encoder: token + position + segment
+// embeddings followed by post-norm attention/FFN blocks. One Encoder instance
+// processes one sequence at a time (Forward then Backward); it is not safe
+// for concurrent use.
+type Encoder struct {
+	Cfg    Config
+	tokEmb *Param
+	posEmb *Param
+	segEmb *Param
+	embLN  *LayerNorm
+	layers []*encoderLayer
+
+	tokens, segments []int
+}
+
+type encoderLayer struct {
+	attn *MultiHeadAttention
+	ln1  *LayerNorm
+	ffn  *FFN
+	ln2  *LayerNorm
+
+	attnIn, ffnIn *Mat
+}
+
+// NewEncoder registers all parameters of the encoder in ps.
+func NewEncoder(cfg Config, ps *Params, rng *rand.Rand) *Encoder {
+	cfg.Validate()
+	e := &Encoder{
+		Cfg:    cfg,
+		tokEmb: ps.New("emb.tok", cfg.VocabSize*cfg.Dim),
+		posEmb: ps.New("emb.pos", cfg.MaxSeqLen*cfg.Dim),
+		segEmb: ps.New("emb.seg", cfg.Segments*cfg.Dim),
+		embLN:  NewLayerNorm(ps, "emb.ln", cfg.Dim),
+	}
+	e.tokEmb.initNormal(rng, 0.02)
+	e.posEmb.initNormal(rng, 0.02)
+	e.segEmb.initNormal(rng, 0.02)
+	for l := 0; l < cfg.Layers; l++ {
+		name := "layer" + string(rune('0'+l))
+		e.layers = append(e.layers, &encoderLayer{
+			attn: NewMultiHeadAttention(ps, name+".attn", cfg.Dim, cfg.Heads, rng),
+			ln1:  NewLayerNorm(ps, name+".ln1", cfg.Dim),
+			ffn:  NewFFN(ps, name+".ffn", cfg.Dim, cfg.FFNHidden, rng),
+			ln2:  NewLayerNorm(ps, name+".ln2", cfg.Dim),
+		})
+	}
+	return e
+}
+
+// Forward encodes one sequence. tokens and segments have equal length ≤
+// MaxSeqLen; mask[i] = true marks real positions (false = padding). It
+// returns the final hidden states [seq×Dim]; row 0 is the [CLS]
+// representation used by every head.
+func (e *Encoder) Forward(tokens, segments []int, mask []bool) *Mat {
+	seq := len(tokens)
+	if seq > e.Cfg.MaxSeqLen {
+		panic("nn: sequence exceeds MaxSeqLen")
+	}
+	e.tokens, e.segments = tokens, segments
+	d := e.Cfg.Dim
+	x := NewMat(seq, d)
+	for i := 0; i < seq; i++ {
+		row := x.Row(i)
+		tok := e.tokEmb.W[tokens[i]*d : (tokens[i]+1)*d]
+		pos := e.posEmb.W[i*d : (i+1)*d]
+		seg := e.segEmb.W[segments[i]*d : (segments[i]+1)*d]
+		for j := 0; j < d; j++ {
+			row[j] = tok[j] + pos[j] + seg[j]
+		}
+	}
+	x = e.embLN.Forward(x)
+	for _, l := range e.layers {
+		l.attnIn = x
+		h := l.attn.Forward(x, mask)
+		h.AddInPlace(x)
+		x = l.ln1.Forward(h)
+		l.ffnIn = x
+		f := l.ffn.Forward(x)
+		f.AddInPlace(x)
+		x = l.ln2.Forward(f)
+	}
+	return x
+}
+
+// Backward accumulates gradients for the whole encoder from dL/dHidden.
+func (e *Encoder) Backward(grad *Mat) {
+	for li := len(e.layers) - 1; li >= 0; li-- {
+		l := e.layers[li]
+		g := l.ln2.Backward(grad)
+		gf := l.ffn.Backward(g)
+		gf.AddInPlace(g) // residual
+		g = l.ln1.Backward(gf)
+		ga := l.attn.Backward(g)
+		ga.AddInPlace(g) // residual
+		grad = ga
+	}
+	grad = e.embLN.Backward(grad)
+	d := e.Cfg.Dim
+	for i := 0; i < grad.Rows; i++ {
+		row := grad.Row(i)
+		tok := e.tokEmb.G[e.tokens[i]*d : (e.tokens[i]+1)*d]
+		pos := e.posEmb.G[i*d : (i+1)*d]
+		seg := e.segEmb.G[e.segments[i]*d : (e.segments[i]+1)*d]
+		for j := 0; j < d; j++ {
+			tok[j] += row[j]
+			pos[j] += row[j]
+			seg[j] += row[j]
+		}
+	}
+}
+
+// RegressionHead is a linear head on the [CLS] hidden state predicting one
+// scalar, trained with squared loss — the shape of every objective in the
+// paper (three similarity heads during pre-training, one Shapley head during
+// fine-tuning).
+type RegressionHead struct {
+	lin *Linear
+}
+
+// NewRegressionHead registers a Dim→1 head.
+func NewRegressionHead(ps *Params, name string, dim int, rng *rand.Rand) *RegressionHead {
+	return &RegressionHead{lin: NewLinear(ps, name, dim, 1, rng)}
+}
+
+// Forward returns the scalar prediction from the [CLS] row of hidden.
+func (h *RegressionHead) Forward(hidden *Mat) float64 {
+	cls := &Mat{Rows: 1, Cols: hidden.Cols, Data: hidden.Row(0)}
+	return h.lin.Forward(cls).Data[0]
+}
+
+// Backward converts a scalar loss gradient into a gradient on the full
+// hidden-state matrix (zero except the [CLS] row).
+func (h *RegressionHead) Backward(dPred float64, seq, dim int) *Mat {
+	g := &Mat{Rows: 1, Cols: 1, Data: []float64{dPred}}
+	dCLS := h.lin.Backward(g)
+	out := NewMat(seq, dim)
+	copy(out.Row(0), dCLS.Row(0))
+	return out
+}

@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is one learnable tensor with its gradient accumulator and Adam state.
+type Param struct {
+	Name string
+	W    []float64 // weights
+	G    []float64 // gradient, accumulated across a mini-batch
+	m, v []float64 // Adam first/second moment
+}
+
+func newParam(name string, size int) *Param {
+	return &Param{
+		Name: name,
+		W:    make([]float64, size),
+		G:    make([]float64, size),
+		m:    make([]float64, size),
+		v:    make([]float64, size),
+	}
+}
+
+// initNormal fills the weights with N(0, std²) draws.
+func (p *Param) initNormal(rng *rand.Rand, std float64) {
+	for i := range p.W {
+		p.W[i] = rng.NormFloat64() * std
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Params is the registry of all learnable tensors of a model.
+type Params struct {
+	list []*Param
+}
+
+// New registers a fresh parameter tensor.
+func (ps *Params) New(name string, size int) *Param {
+	p := newParam(name, size)
+	ps.list = append(ps.list, p)
+	return p
+}
+
+// All returns the registered parameters.
+func (ps *Params) All() []*Param { return ps.list }
+
+// NumWeights returns the total number of scalar weights.
+func (ps *Params) NumWeights() int {
+	n := 0
+	for _, p := range ps.list {
+		n += len(p.W)
+	}
+	return n
+}
+
+// ZeroGrad clears every gradient.
+func (ps *Params) ZeroGrad() {
+	for _, p := range ps.list {
+		p.ZeroGrad()
+	}
+}
+
+// Snapshot copies all weights; Restore writes them back. Used for dev-set
+// checkpoint selection ("lowest dev MSE" / "highest dev NDCG@10").
+func (ps *Params) Snapshot() [][]float64 {
+	out := make([][]float64, len(ps.list))
+	for i, p := range ps.list {
+		w := make([]float64, len(p.W))
+		copy(w, p.W)
+		out[i] = w
+	}
+	return out
+}
+
+// Restore writes a snapshot produced by Snapshot back into the parameters.
+func (ps *Params) Restore(snap [][]float64) {
+	for i, p := range ps.list {
+		copy(p.W, snap[i])
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with optional gradient clipping.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	ClipAt  float64 // global gradient-norm clip; 0 disables
+	step    int
+	targets *Params
+}
+
+// NewAdam returns an optimizer over the given parameters with the standard
+// defaults (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params *Params, lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipAt: 1.0, targets: params}
+}
+
+// Step applies one Adam update from the accumulated gradients (scaled by
+// 1/batchSize) and clears them.
+func (a *Adam) Step(batchSize int) {
+	a.step++
+	inv := 1.0
+	if batchSize > 0 {
+		inv = 1.0 / float64(batchSize)
+	}
+	// Global-norm clipping.
+	scale := inv
+	if a.ClipAt > 0 {
+		norm := 0.0
+		for _, p := range a.targets.list {
+			for _, g := range p.G {
+				gg := g * inv
+				norm += gg * gg
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > a.ClipAt {
+			scale = inv * a.ClipAt / norm
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range a.targets.list {
+		for i := range p.W {
+			g := p.G[i] * scale
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mhat := p.m[i] / bc1
+			vhat := p.v[i] / bc2
+			p.W[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+	a.targets.ZeroGrad()
+}

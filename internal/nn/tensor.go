@@ -1,0 +1,148 @@
+// Package nn is a self-contained neural-network substrate: dense matrices,
+// layers with explicit forward/backward passes, a BERT-style transformer
+// encoder, and the Adam optimizer. It substitutes the paper's
+// PyTorch/HuggingFace dependency (see DESIGN.md): the same pre-train /
+// fine-tune recipe runs on this encoder, at CPU-friendly scale.
+//
+// Design notes:
+//   - float64 everywhere: model sizes are small enough that memory is not a
+//     concern and float64 keeps the finite-difference gradient tests tight.
+//   - no autodiff graph: every layer caches what its backward pass needs and
+//     implements Backward explicitly, which keeps the substrate small and
+//     independently testable.
+//   - all randomness flows through an explicit *rand.Rand, so training is
+//     reproducible bit-for-bit.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zero matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT returns a·bᵀ.
+func MatMulT(a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul returns aᵀ·b.
+func TMatMul(a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: TmatMul shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// AddInPlace adds o to m element-wise.
+func (m *Mat) AddInPlace(o *Mat) {
+	for i := range m.Data {
+		m.Data[i] += o.Data[i]
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Mat) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row in place.
+func (m *Mat) SoftmaxRows() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// VocabHead is a linear projection from hidden states to vocabulary logits
+// with a softmax cross-entropy loss — the output layer of masked-language-
+// model pre-training.
+type VocabHead struct {
+	lin *Linear
+}
+
+// NewVocabHead registers a Dim→vocab projection.
+func NewVocabHead(ps *Params, name string, dim, vocab int, rng *rand.Rand) *VocabHead {
+	return &VocabHead{lin: NewLinear(ps, name, dim, vocab, rng)}
+}
+
+// LossAndBackward computes the mean cross-entropy of predicting targets[i] at
+// hidden row positions[i], accumulates the head's parameter gradients, and
+// returns the loss together with dLoss/dHidden (zero outside the scored
+// rows). Positions and targets must have equal length ≥ 1.
+func (h *VocabHead) LossAndBackward(hidden *Mat, positions, targets []int) (float64, *Mat) {
+	n := len(positions)
+	rows := NewMat(n, hidden.Cols)
+	for i, pos := range positions {
+		copy(rows.Row(i), hidden.Row(pos))
+	}
+	logits := h.lin.Forward(rows)
+	loss := 0.0
+	dLogits := NewMat(logits.Rows, logits.Cols)
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - max)
+		}
+		logZ := max + math.Log(sum)
+		target := targets[i]
+		loss += logZ - row[target]
+		drow := dLogits.Row(i)
+		inv := 1 / float64(n)
+		for j, v := range row {
+			p := math.Exp(v - logZ)
+			if j == target {
+				p -= 1
+			}
+			drow[j] = p * inv
+		}
+	}
+	dRows := h.lin.Backward(dLogits)
+	dHidden := NewMat(hidden.Rows, hidden.Cols)
+	for i, pos := range positions {
+		copy(dHidden.Row(pos), dRows.Row(i))
+	}
+	return loss / float64(n), dHidden
+}
+
+// PredictTop returns the argmax vocabulary ID at one hidden row; useful for
+// inspecting what the MLM head has learned.
+func (h *VocabHead) PredictTop(hidden *Mat, position int) int {
+	row := &Mat{Rows: 1, Cols: hidden.Cols, Data: hidden.Row(position)}
+	logits := h.lin.Forward(row)
+	best, bestV := 0, math.Inf(-1)
+	for j, v := range logits.Row(0) {
+		if v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVocabHeadGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ps := &Params{}
+	head := NewVocabHead(ps, "mlm", 6, 9, rng)
+	hidden := randMat(rng, 4, 6)
+	positions := []int{0, 2}
+	targets := []int{3, 7}
+
+	forward := func() float64 {
+		ps.ZeroGrad()
+		loss, _ := head.LossAndBackward(hidden, positions, targets)
+		return loss
+	}
+	loss := func() float64 {
+		// Loss without touching accumulated grads: recompute on a clone head
+		// is overkill; LossAndBackward always accumulates, so snapshot and
+		// restore around it.
+		snap := ps.Snapshot()
+		grads := make([][]float64, len(ps.All()))
+		for i, p := range ps.All() {
+			g := make([]float64, len(p.G))
+			copy(g, p.G)
+			grads[i] = g
+		}
+		l, _ := head.LossAndBackward(hidden, positions, targets)
+		ps.Restore(snap)
+		for i, p := range ps.All() {
+			copy(p.G, grads[i])
+		}
+		return l
+	}
+	forward()
+	const h = 1e-6
+	for _, p := range ps.All() {
+		for trial := 0; trial < 6 && trial < len(p.W); trial++ {
+			i := rng.Intn(len(p.W))
+			orig := p.W[i]
+			p.W[i] = orig + h
+			up := loss()
+			p.W[i] = orig - h
+			down := loss()
+			p.W[i] = orig
+			num := (up - down) / (2 * h)
+			if diff := math.Abs(num - p.G[i]); diff > 1e-5*(1+math.Abs(num)) {
+				t.Errorf("%s[%d]: analytic %v vs numeric %v", p.Name, i, p.G[i], num)
+			}
+		}
+	}
+}
+
+func TestVocabHeadHiddenGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ps := &Params{}
+	head := NewVocabHead(ps, "mlm", 5, 7, rng)
+	hidden := randMat(rng, 3, 5)
+	positions := []int{1}
+	targets := []int{4}
+	_, dHidden := head.LossAndBackward(hidden, positions, targets)
+	const h = 1e-6
+	for i := range hidden.Data {
+		orig := hidden.Data[i]
+		hidden.Data[i] = orig + h
+		up, _ := head.LossAndBackward(hidden, positions, targets)
+		hidden.Data[i] = orig - h
+		down, _ := head.LossAndBackward(hidden, positions, targets)
+		hidden.Data[i] = orig
+		num := (up - down) / (2 * h)
+		if math.Abs(num-dHidden.Data[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Errorf("dHidden[%d]: analytic %v vs numeric %v", i, dHidden.Data[i], num)
+		}
+	}
+	// Unscored rows must receive zero gradient.
+	for j := 0; j < 5; j++ {
+		if dHidden.At(0, j) != 0 || dHidden.At(2, j) != 0 {
+			t.Fatal("gradient leaked to unscored positions")
+		}
+	}
+}
+
+func TestVocabHeadLearnsMapping(t *testing.T) {
+	// A trivially learnable task: hidden row = one-hot-ish embedding of the
+	// target. After training, PredictTop recovers the targets.
+	rng := rand.New(rand.NewSource(23))
+	ps := &Params{}
+	head := NewVocabHead(ps, "mlm", 4, 4, rng)
+	opt := NewAdam(ps, 0.05)
+	mkHidden := func(target int) *Mat {
+		m := NewMat(1, 4)
+		m.Set(0, target, 1)
+		return m
+	}
+	for epoch := 0; epoch < 120; epoch++ {
+		for target := 0; target < 4; target++ {
+			head.LossAndBackward(mkHidden(target), []int{0}, []int{target})
+		}
+		opt.Step(4)
+	}
+	for target := 0; target < 4; target++ {
+		if got := head.PredictTop(mkHidden(target), 0); got != target {
+			t.Errorf("PredictTop for %d = %d", target, got)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package paperdb reconstructs the running example of the paper (Figures 1-5):
+// a small movies database over the schema
+//
+//	movies(title, year, company)
+//	actors(name, age)
+//	companies(name, country)
+//	roles(movie, actor)
+//
+// together with the inference query q_inf and the log queries q1, q2 and the
+// projection variant q3. The instance is built to satisfy every number the
+// paper derives from it:
+//
+//   - Prov(D, q_inf, Alice) = (a1∧m1∧c1∧r1) ∨ (a1∧m2∧c1∧r2) ∨ (a1∧m3∧c2∧r3)
+//   - Shapley(D, q_inf, Alice, c1) = 10/63, Shapley(D, q_inf, Alice, c2) = 19/252
+//   - q1(D) = {Superman, Aquaman, Spiderman}; q2(D) = {Alice, Carol}
+//   - sim_syntax(q_inf, q1) = 5/8; sim_witness(q_inf, q2) = 1/4
+//   - q3(D) = {45, 30, 23}, aligned with q_inf(D) = {Alice, Bob, David}
+package paperdb
+
+import (
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+// Facts groups the annotated facts of the running example by their paper
+// names (a=actors, m=movies, c=companies, r=roles).
+type Facts struct {
+	A [4]*relation.Fact // a1..a4: Alice, Bob, Carol, David
+	M [5]*relation.Fact // m1..m5: Superman, Aquaman, Spiderman, Batman, Titanic
+	C [4]*relation.Fact // c1..c4: Universal, Warner, Fox, StudioCanal
+	R [8]*relation.Fact // r1..r8
+}
+
+// New builds the running-example database and returns it with its facts.
+func New() (*relation.Database, *Facts) {
+	db := relation.NewDatabase()
+	mustRel := func(s *relation.Schema) {
+		if _, err := db.AddRelation(s); err != nil {
+			panic(err)
+		}
+	}
+	mustRel(relation.MustSchema("movies",
+		relation.Column{Name: "title", Type: relation.KindString},
+		relation.Column{Name: "year", Type: relation.KindInt},
+		relation.Column{Name: "company", Type: relation.KindString},
+	))
+	mustRel(relation.MustSchema("actors",
+		relation.Column{Name: "name", Type: relation.KindString},
+		relation.Column{Name: "age", Type: relation.KindInt},
+	))
+	mustRel(relation.MustSchema("companies",
+		relation.Column{Name: "name", Type: relation.KindString},
+		relation.Column{Name: "country", Type: relation.KindString},
+	))
+	mustRel(relation.MustSchema("roles",
+		relation.Column{Name: "movie", Type: relation.KindString},
+		relation.Column{Name: "actor", Type: relation.KindString},
+	))
+
+	f := &Facts{}
+	f.A[0] = db.MustInsert("actors", relation.Str("Alice"), relation.Int(45))
+	f.A[1] = db.MustInsert("actors", relation.Str("Bob"), relation.Int(30))
+	f.A[2] = db.MustInsert("actors", relation.Str("Carol"), relation.Int(33))
+	f.A[3] = db.MustInsert("actors", relation.Str("David"), relation.Int(23))
+
+	f.C[0] = db.MustInsert("companies", relation.Str("Universal"), relation.Str("USA"))
+	f.C[1] = db.MustInsert("companies", relation.Str("Warner"), relation.Str("USA"))
+	f.C[2] = db.MustInsert("companies", relation.Str("Fox"), relation.Str("USA"))
+	f.C[3] = db.MustInsert("companies", relation.Str("StudioCanal"), relation.Str("France"))
+
+	f.M[0] = db.MustInsert("movies", relation.Str("Superman"), relation.Int(2007), relation.Str("Universal"))
+	f.M[1] = db.MustInsert("movies", relation.Str("Aquaman"), relation.Int(2007), relation.Str("Universal"))
+	f.M[2] = db.MustInsert("movies", relation.Str("Spiderman"), relation.Int(2007), relation.Str("Warner"))
+	f.M[3] = db.MustInsert("movies", relation.Str("Batman"), relation.Int(2006), relation.Str("Fox"))
+	f.M[4] = db.MustInsert("movies", relation.Str("Titanic"), relation.Int(2007), relation.Str("StudioCanal"))
+
+	f.R[0] = db.MustInsert("roles", relation.Str("Superman"), relation.Str("Alice"))
+	f.R[1] = db.MustInsert("roles", relation.Str("Aquaman"), relation.Str("Alice"))
+	f.R[2] = db.MustInsert("roles", relation.Str("Spiderman"), relation.Str("Alice"))
+	f.R[3] = db.MustInsert("roles", relation.Str("Superman"), relation.Str("Bob"))
+	f.R[4] = db.MustInsert("roles", relation.Str("Spiderman"), relation.Str("David"))
+	f.R[5] = db.MustInsert("roles", relation.Str("Batman"), relation.Str("Carol"))
+	f.R[6] = db.MustInsert("roles", relation.Str("Titanic"), relation.Str("Bob"))
+	f.R[7] = db.MustInsert("roles", relation.Str("Batman"), relation.Str("Bob"))
+	return db, f
+}
+
+// QInf is the inference query of Figure 2a: actors in movies released in 2007
+// and produced by American production companies.
+const QInf = `SELECT DISTINCT actors.name
+FROM movies, actors, companies, roles
+WHERE movies.title = roles.movie AND
+      actors.name = roles.actor AND
+      movies.company = companies.name AND
+      companies.country = 'USA' AND
+      movies.year = 2007`
+
+// Q1 is the log query of Figure 2b: titles of 2007 American movies in which
+// Alice played a role.
+const Q1 = `SELECT DISTINCT movies.title
+FROM movies, actors, companies, roles
+WHERE movies.title = roles.movie AND
+      actors.name = roles.actor AND
+      movies.company = companies.name AND
+      companies.country = 'USA' AND
+      movies.year = 2007 AND
+      actors.name = 'Alice'`
+
+// Q2 is the log query of Figure 2c: names of actors over 30 that played in a
+// movie produced by an American company.
+const Q2 = `SELECT DISTINCT actors.name
+FROM movies, actors, companies, roles
+WHERE movies.title = roles.movie AND
+      actors.name = roles.actor AND
+      movies.company = companies.name AND
+      companies.country = 'USA' AND
+      actors.age > 30`
+
+// Q3 is the projection variant of Figure 3: ages of actors in 2007 American
+// movies. Its computation is identical to QInf up to the projection clause.
+const Q3 = `SELECT DISTINCT actors.age
+FROM movies, actors, companies, roles
+WHERE movies.title = roles.movie AND
+      actors.name = roles.actor AND
+      movies.company = companies.name AND
+      companies.country = 'USA' AND
+      movies.year = 2007`
+
+// MustParse parses one of the package's query constants.
+func MustParse(sql string) *sqlparse.Query { return sqlparse.MustParse(sql) }

@@ -1,0 +1,59 @@
+package paperdb
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestFixtureInvariants(t *testing.T) {
+	db, f := New()
+	if db.NumFacts() != 4+4+5+8 {
+		t.Errorf("fact count = %d", db.NumFacts())
+	}
+	// Annotations follow paper naming: a1 is Alice, c1 is Universal, etc.
+	if f.A[0].Values[0].AsString() != "Alice" {
+		t.Errorf("a1 = %v", f.A[0])
+	}
+	if f.C[0].Values[0].AsString() != "Universal" || f.C[1].Values[0].AsString() != "Warner" {
+		t.Errorf("c1/c2 = %v / %v", f.C[0], f.C[1])
+	}
+	if f.M[0].Values[0].AsString() != "Superman" {
+		t.Errorf("m1 = %v", f.M[0])
+	}
+}
+
+func TestAllQueriesParseAndRun(t *testing.T) {
+	db, _ := New()
+	for name, sql := range map[string]string{"QInf": QInf, "Q1": Q1, "Q2": Q2, "Q3": Q3} {
+		q := MustParse(sql)
+		res, err := engine.Evaluate(db, q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Tuples) == 0 {
+			t.Errorf("%s returned no tuples", name)
+		}
+	}
+}
+
+func TestQ3AlignsWithQInf(t *testing.T) {
+	// Example 3.1: q3(D) = ages of the q_inf(D) actors: 45, 30, 23.
+	db, _ := New()
+	res, err := engine.Evaluate(db, MustParse(Q3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ages := map[int64]bool{}
+	for _, tp := range res.Tuples {
+		ages[tp.Values[0].AsInt()] = true
+	}
+	for _, want := range []int64{45, 30, 23} {
+		if !ages[want] {
+			t.Errorf("missing age %d in q3(D): %v", want, ages)
+		}
+	}
+	if len(ages) != 3 {
+		t.Errorf("q3(D) = %v, want 3 ages", ages)
+	}
+}

@@ -1,0 +1,97 @@
+package provenance
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Literal is a possibly negated propositional variable. Positive variables
+// with index < the Tseytin offset correspond to fact IDs; higher indexes are
+// auxiliary Tseytin variables.
+type Literal struct {
+	Var     int
+	Negated bool
+}
+
+// String renders the literal as "x3" or "¬x3".
+func (l Literal) String() string {
+	if l.Negated {
+		return fmt.Sprintf("¬x%d", l.Var)
+	}
+	return fmt.Sprintf("x%d", l.Var)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// CNF is a conjunction of clauses over NumVars variables; variables with
+// index < NumFactVars are original fact variables, the remainder are
+// auxiliary variables introduced by the Tseytin transformation.
+type CNF struct {
+	Clauses     []Clause
+	NumVars     int
+	NumFactVars int
+	factIDs     []relation.FactID // fact variable index -> FactID
+}
+
+// FactIDForVar maps an original variable index back to its fact ID.
+func (c *CNF) FactIDForVar(v int) (relation.FactID, bool) {
+	if v < 0 || v >= len(c.factIDs) {
+		return 0, false
+	}
+	return c.factIDs[v], true
+}
+
+// String renders the CNF clause list.
+func (c *CNF) String() string {
+	parts := make([]string, len(c.Clauses))
+	for i, cl := range c.Clauses {
+		lits := make([]string, len(cl))
+		for j, l := range cl {
+			lits[j] = l.String()
+		}
+		parts[i] = "(" + strings.Join(lits, "∨") + ")"
+	}
+	return strings.Join(parts, "∧")
+}
+
+// Tseytin converts the DNF formula into an equisatisfiable CNF by
+// introducing one auxiliary variable per monomial plus one output variable,
+// exactly as the CNF-proxy baseline of Deutch et al. does before handing the
+// formula to its heuristic. For the monomial m_j with auxiliary variable a_j:
+//
+//	a_j → f   for every fact f in m_j      (¬a_j ∨ f)
+//	(∧m_j) → a_j                            (a_j ∨ ¬f_1 ∨ ... ∨ ¬f_k)
+//
+// plus the root clause (a_1 ∨ ... ∨ a_n) asserting the DNF holds.
+func Tseytin(d *DNF) *CNF {
+	lineage := d.Lineage()
+	varOf := make(map[relation.FactID]int, len(lineage))
+	for i, id := range lineage {
+		varOf[id] = i
+	}
+	c := &CNF{
+		NumFactVars: len(lineage),
+		factIDs:     lineage,
+	}
+	aux := len(lineage)
+	root := make(Clause, 0, len(d.Monomials))
+	for _, m := range d.Monomials {
+		a := aux
+		aux++
+		root = append(root, Literal{Var: a})
+		back := make(Clause, 0, len(m)+1)
+		back = append(back, Literal{Var: a})
+		for _, id := range m {
+			f := varOf[id]
+			c.Clauses = append(c.Clauses, Clause{{Var: a, Negated: true}, {Var: f}})
+			back = append(back, Literal{Var: f, Negated: true})
+		}
+		c.Clauses = append(c.Clauses, back)
+	}
+	c.Clauses = append(c.Clauses, root)
+	c.NumVars = aux
+	return c
+}

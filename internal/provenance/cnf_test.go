@@ -1,0 +1,110 @@
+package provenance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// evalCNF checks satisfiability of the CNF under a full assignment.
+func evalCNF(c *CNF, assign []bool) bool {
+	for _, cl := range c.Clauses {
+		sat := false
+		for _, l := range cl {
+			if assign[l.Var] != l.Negated {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTseytinEquisatisfiable(t *testing.T) {
+	// For every assignment of the fact variables, DNF is true iff there is an
+	// extension of the Tseytin variables satisfying the CNF. Because the
+	// Tseytin encoding is functional (each aux var is determined by the fact
+	// vars), we check by setting aux vars to their defined values.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		var ms []Monomial
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			var vs []relation.FactID
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					vs = append(vs, relation.FactID(v))
+				}
+			}
+			if len(vs) == 0 {
+				vs = append(vs, relation.FactID(rng.Intn(n)))
+			}
+			ms = append(ms, NewMonomial(vs...))
+		}
+		d := FromMonomials(ms...)
+		c := Tseytin(d)
+		lineage := d.Lineage()
+		for mask := 0; mask < 1<<len(lineage); mask++ {
+			present := make(map[relation.FactID]bool)
+			assign := make([]bool, c.NumVars)
+			for i, id := range lineage {
+				if mask&(1<<uint(i)) != 0 {
+					present[id] = true
+					assign[i] = true
+				}
+			}
+			// Aux var j (offset NumFactVars) is true iff monomial j holds.
+			for j, m := range d.Monomials {
+				holds := true
+				for _, id := range m {
+					if !present[id] {
+						holds = false
+						break
+					}
+				}
+				assign[c.NumFactVars+j] = holds
+			}
+			if evalCNF(c, assign) != d.EvalSet(present) {
+				t.Fatalf("Tseytin mismatch for %v mask %b", d, mask)
+			}
+		}
+	}
+}
+
+func TestTseytinVarMapping(t *testing.T) {
+	d := FromMonomials(NewMonomial(ids(10, 20)...), NewMonomial(ids(20, 30)...))
+	c := Tseytin(d)
+	if c.NumFactVars != 3 {
+		t.Fatalf("NumFactVars = %d", c.NumFactVars)
+	}
+	if c.NumVars != 3+2 {
+		t.Fatalf("NumVars = %d", c.NumVars)
+	}
+	for i, want := range ids(10, 20, 30) {
+		got, ok := c.FactIDForVar(i)
+		if !ok || got != want {
+			t.Errorf("FactIDForVar(%d) = %d, %v; want %d", i, got, ok, want)
+		}
+	}
+	if _, ok := c.FactIDForVar(3); ok {
+		t.Error("aux var should not map to a fact")
+	}
+	if _, ok := c.FactIDForVar(-1); ok {
+		t.Error("negative var should not map to a fact")
+	}
+}
+
+func TestTseytinClauseCount(t *testing.T) {
+	// One backward clause per monomial + one implication clause per literal +
+	// one root clause.
+	d := FromMonomials(NewMonomial(ids(1, 2)...), NewMonomial(ids(3)...))
+	c := Tseytin(d)
+	wantClauses := 2 + 3 + 1
+	if len(c.Clauses) != wantClauses {
+		t.Errorf("clauses = %d, want %d\n%s", len(c.Clauses), wantClauses, c)
+	}
+}

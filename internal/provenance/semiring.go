@@ -1,0 +1,82 @@
+package provenance
+
+import (
+	"math"
+
+	"repro/internal/relation"
+)
+
+// Semiring abstracts the commutative semirings of the provenance-semiring
+// framework (Green et al.), which Section 6 of the paper situates LearnShapley
+// against: the DNF provenance is a positive boolean expression, so it can be
+// evaluated in any semiring by mapping each fact annotation to a semiring
+// value, monomials through multiplication and the disjunction through
+// addition.
+type Semiring[T any] interface {
+	Zero() T
+	One() T
+	Add(a, b T) T
+	Mul(a, b T) T
+}
+
+// EvalSemiring evaluates the DNF in the given semiring under the fact
+// valuation. Facts without a valuation entry evaluate to Zero (absent).
+func EvalSemiring[T any](s Semiring[T], d *DNF, valuation func(relation.FactID) T) T {
+	total := s.Zero()
+	for _, m := range d.Monomials {
+		prod := s.One()
+		for _, id := range m {
+			prod = s.Mul(prod, valuation(id))
+		}
+		total = s.Add(total, prod)
+	}
+	return total
+}
+
+// BoolSemiring is the boolean semiring (∨, ∧): set semantics. Evaluating the
+// provenance here coincides with DNF.Eval.
+type BoolSemiring struct{}
+
+func (BoolSemiring) Zero() bool         { return false }
+func (BoolSemiring) One() bool          { return true }
+func (BoolSemiring) Add(a, b bool) bool { return a || b }
+func (BoolSemiring) Mul(a, b bool) bool { return a && b }
+
+// CountSemiring is (ℕ, +, ×): bag semantics. Evaluating with multiplicity 1
+// per present fact counts the derivations of the tuple.
+type CountSemiring struct{}
+
+func (CountSemiring) Zero() int        { return 0 }
+func (CountSemiring) One() int         { return 1 }
+func (CountSemiring) Add(a, b int) int { return a + b }
+func (CountSemiring) Mul(a, b int) int { return a * b }
+
+// TropicalSemiring is (ℝ∪{∞}, min, +): minimal-cost derivation. With cost 1
+// per fact it yields the size of the cheapest derivation.
+type TropicalSemiring struct{}
+
+func (TropicalSemiring) Zero() float64            { return math.Inf(1) }
+func (TropicalSemiring) One() float64             { return 0 }
+func (TropicalSemiring) Add(a, b float64) float64 { return math.Min(a, b) }
+func (TropicalSemiring) Mul(a, b float64) float64 { return a + b }
+
+// ViterbiSemiring is ([0,1], max, ×): most-probable derivation under
+// independent fact probabilities.
+type ViterbiSemiring struct{}
+
+func (ViterbiSemiring) Zero() float64            { return 0 }
+func (ViterbiSemiring) One() float64             { return 1 }
+func (ViterbiSemiring) Add(a, b float64) float64 { return math.Max(a, b) }
+func (ViterbiSemiring) Mul(a, b float64) float64 { return a * b }
+
+// DerivationCount counts the derivations of the tuple (count semiring with
+// every lineage fact present once).
+func DerivationCount(d *DNF) int {
+	return EvalSemiring[int](CountSemiring{}, d, func(relation.FactID) int { return 1 })
+}
+
+// MinDerivationSize returns the size of the smallest derivation, or +Inf for
+// unsatisfiable provenance (tropical semiring with unit costs).
+func MinDerivationSize(d *DNF) float64 {
+	return EvalSemiring[float64](TropicalSemiring{}, d, func(relation.FactID) float64 { return 1 })
+}

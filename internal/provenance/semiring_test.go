@@ -1,0 +1,83 @@
+package provenance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestBoolSemiringMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		var ms []Monomial
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			var vs []relation.FactID
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					vs = append(vs, relation.FactID(v))
+				}
+			}
+			ms = append(ms, NewMonomial(vs...))
+		}
+		d := FromMonomials(ms...)
+		for mask := 0; mask < 1<<n; mask++ {
+			present := func(id relation.FactID) bool { return mask&(1<<uint(id)) != 0 }
+			got := EvalSemiring[bool](BoolSemiring{}, d, present)
+			if got != d.Eval(present) {
+				t.Fatalf("bool semiring disagrees with Eval on %v, mask %b", d, mask)
+			}
+		}
+	}
+}
+
+func TestDerivationCount(t *testing.T) {
+	// Alice's provenance shape: three derivations.
+	d := FromMonomials(
+		NewMonomial(ids(1, 2, 3)...),
+		NewMonomial(ids(1, 4, 3)...),
+		NewMonomial(ids(1, 5, 6)...),
+	)
+	if got := DerivationCount(d); got != 3 {
+		t.Errorf("DerivationCount = %d", got)
+	}
+	if got := DerivationCount(False()); got != 0 {
+		t.Errorf("DerivationCount(false) = %d", got)
+	}
+}
+
+func TestMinDerivationSize(t *testing.T) {
+	d := FromMonomials(
+		NewMonomial(ids(1, 2, 3)...),
+		NewMonomial(ids(4)...),
+	)
+	if got := MinDerivationSize(d); got != 1 {
+		t.Errorf("MinDerivationSize = %v", got)
+	}
+	if got := MinDerivationSize(False()); !math.IsInf(got, 1) {
+		t.Errorf("MinDerivationSize(false) = %v", got)
+	}
+}
+
+func TestViterbiSemiring(t *testing.T) {
+	// Two derivations with probabilities 0.9*0.5 = 0.45 and 0.6: max = 0.6.
+	d := FromMonomials(NewMonomial(ids(1, 2)...), NewMonomial(ids(3)...))
+	probs := map[relation.FactID]float64{1: 0.9, 2: 0.5, 3: 0.6}
+	got := EvalSemiring[float64](ViterbiSemiring{}, d, func(id relation.FactID) float64 { return probs[id] })
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Viterbi = %v, want 0.6", got)
+	}
+}
+
+func TestCountSemiringBagSemantics(t *testing.T) {
+	// With fact multiplicities, the count semiring multiplies them per
+	// derivation: (2 copies of f1)·(3 of f2) + (1 of f3) = 7.
+	d := FromMonomials(NewMonomial(ids(1, 2)...), NewMonomial(ids(3)...))
+	mult := map[relation.FactID]int{1: 2, 2: 3, 3: 1}
+	got := EvalSemiring[int](CountSemiring{}, d, func(id relation.FactID) int { return mult[id] })
+	if got != 7 {
+		t.Errorf("count = %d, want 7", got)
+	}
+}

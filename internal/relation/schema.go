@@ -1,0 +1,69 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Kind
+}
+
+// Schema describes the attributes of a relation.
+type Schema struct {
+	Relation string
+	Columns  []Column
+
+	index map[string]int
+}
+
+// NewSchema builds a schema and its column-name index. Column names must be
+// unique within the relation.
+func NewSchema(relation string, columns ...Column) (*Schema, error) {
+	s := &Schema{Relation: relation, Columns: columns, index: make(map[string]int, len(columns))}
+	for i, c := range columns {
+		name := strings.ToLower(c.Name)
+		if _, dup := s.index[name]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q in relation %q", c.Name, relation)
+		}
+		s.index[name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for statically known
+// schemas such as the built-in IMDB and Academic schemas.
+func MustSchema(relation string, columns ...Column) *Schema {
+	s, err := NewSchema(relation, columns...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColumnIndex returns the position of the named column (case-insensitive)
+// and whether it exists.
+func (s *Schema) ColumnIndex(name string) (int, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// String renders the schema as "rel(col TYPE, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Relation)
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() should be null")
+	}
+	if v := Int(42); v.Kind() != KindInt || v.AsInt() != 42 {
+		t.Errorf("Int(42) = %v", v)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.AsFloat() != 2.5 {
+		t.Errorf("Float(2.5) = %v", v)
+	}
+	if v := Str("x"); v.Kind() != KindString || v.AsString() != "x" {
+		t.Errorf("Str(x) = %v", v)
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.AsBool() {
+		t.Errorf("Bool(true) = %v", v)
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !Int(2007).Equal(Float(2007)) {
+		t.Error("Int(2007) should equal Float(2007)")
+	}
+	if Int(2007).Equal(Float(2007.5)) {
+		t.Error("Int(2007) should not equal Float(2007.5)")
+	}
+	if Int(1).Equal(Str("1")) {
+		t.Error("Int(1) should not equal Str(\"1\")")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("NULL = NULL under our value semantics")
+	}
+}
+
+func TestValueCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Int(2), Float(2.5), -1},
+		{Float(3), Int(2), 1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("a"), 1},
+		{Str("a"), Str("a"), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Null(), Null(), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueKeyAgreesWithEqual(t *testing.T) {
+	pairs := []struct {
+		a, b Value
+	}{
+		{Int(7), Float(7)},
+		{Int(7), Int(7)},
+		{Str("7"), Str("7")},
+	}
+	for _, p := range pairs {
+		if p.a.Equal(p.b) != (p.a.Key() == p.b.Key()) {
+			t.Errorf("Key/Equal disagree for %v vs %v", p.a, p.b)
+		}
+	}
+	if Int(7).Key() == Str("7").Key() {
+		t.Error("Int(7) and Str(\"7\") must have different keys")
+	}
+}
+
+func TestValueCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCompareTransitiveOnFloats(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		va, vb, vc := Float(a), Float(b), Float(c)
+		if va.Compare(vb) <= 0 && vb.Compare(vc) <= 0 {
+			return va.Compare(vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{Str("abc"), "abc"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "FLOAT",
+		KindString: "TEXT", KindBool: "BOOL",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package shapley
+
+import (
+	"repro/internal/provenance"
+)
+
+// CNFProxy computes the fast inexact contribution scores used as a ranking
+// proxy, mirroring the CNF-proxy baseline of Deutch et al.: the provenance is
+// Tseytin-transformed into CNF, and each fact variable is scored by the
+// clause-weighted evidence for it,
+//
+//	proxy(f) = Σ_{clauses c with f positive} 2^{-(|c|-1)}
+//
+// On the Tseytin encoding of a DNF this reduces to Banzhaf-style per-monomial
+// evidence: a fact in a short derivation (few co-required facts) scores
+// higher than one buried in a long derivation, and facts in many derivations
+// accumulate. The scores are not Shapley values — overlapping derivations are
+// double counted — but the induced ranking is a cheap approximation.
+func CNFProxy(d *provenance.DNF) Values {
+	cnf := provenance.Tseytin(d)
+	scores := make(Values)
+	for _, id := range d.Lineage() {
+		scores[id] = 0
+	}
+	for _, clause := range cnf.Clauses {
+		weight := 1.0
+		for i := 1; i < len(clause); i++ {
+			weight /= 2
+		}
+		for _, lit := range clause {
+			if lit.Negated {
+				continue
+			}
+			if id, ok := cnf.FactIDForVar(lit.Var); ok {
+				scores[id] += weight
+			}
+		}
+	}
+	return scores
+}

@@ -1,0 +1,160 @@
+package shapley
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+func TestExactTooLarge(t *testing.T) {
+	var ms []provenance.Monomial
+	for i := 0; i < maxExactVars+1; i++ {
+		ms = append(ms, provenance.NewMonomial(relation.FactID(i)))
+	}
+	d := provenance.FromMonomials(ms...)
+	if _, _, err := Exact(d); err == nil {
+		t.Error("expected size-limit error")
+	}
+}
+
+func TestExactDuplicateMonomialsCollapse(t *testing.T) {
+	a := provenance.FromMonomials(
+		provenance.NewMonomial(ids(1, 2)...),
+		provenance.NewMonomial(ids(2, 1)...),
+		provenance.NewMonomial(ids(3)...),
+	)
+	b := provenance.FromMonomials(
+		provenance.NewMonomial(ids(1, 2)...),
+		provenance.NewMonomial(ids(3)...),
+	)
+	va, _, err := Exact(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, _, err := Exact(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range vb {
+		if math.Abs(va[id]-want) > 1e-12 {
+			t.Errorf("fact %d: %v vs %v", id, va[id], want)
+		}
+	}
+}
+
+func TestExactPositivityProperty(t *testing.T) {
+	// Monotone games: every lineage fact has a strictly positive value
+	// (after minimization it appears in some prime implicant).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDNF(rng, 10, 5).Minimize()
+		vals, _, err := Exact(d)
+		if err != nil {
+			return false
+		}
+		for _, id := range d.Lineage() {
+			if vals[id] <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactValueBoundedByOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDNF(rng, 12, 6)
+		vals, _, err := Exact(d)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if v < -1e-12 || v > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactInvariantToMonomialOrder(t *testing.T) {
+	// The compiled variable order depends on monomial order, but the values
+	// must not.
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 50; trial++ {
+		d := randomDNF(rng, 9, 5)
+		v1, _, err := Exact(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shuffled := d.Clone()
+		rng.Shuffle(len(shuffled.Monomials), func(i, j int) {
+			shuffled.Monomials[i], shuffled.Monomials[j] = shuffled.Monomials[j], shuffled.Monomials[i]
+		})
+		v2, _, err := Exact(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, want := range v1 {
+			if math.Abs(v2[id]-want) > 1e-9 {
+				t.Fatalf("trial %d: fact %d: %v vs %v for %v", trial, id, v2[id], want, d)
+			}
+		}
+	}
+}
+
+func TestCompileStatsSane(t *testing.T) {
+	d := provenance.FromMonomials(
+		provenance.NewMonomial(ids(1, 2)...),
+		provenance.NewMonomial(ids(2, 3)...),
+	)
+	_, stats, err := Exact(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LineageSize != 3 || stats.Monomials != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.CircuitNodes < 3 {
+		t.Errorf("circuit suspiciously small: %+v", stats)
+	}
+}
+
+func TestCNFProxyTopAgreementOnChains(t *testing.T) {
+	// On star-shaped provenance (the common join pattern), the proxy's top
+	// choice matches exact Shapley's in a large majority of random instances.
+	rng := rand.New(rand.NewSource(17))
+	agree, total := 0, 0
+	for trial := 0; trial < 100; trial++ {
+		hub := relation.FactID(0)
+		var ms []provenance.Monomial
+		k := 2 + rng.Intn(5)
+		for i := 0; i < k; i++ {
+			ms = append(ms, provenance.NewMonomial(hub, relation.FactID(1+2*i), relation.FactID(2+2*i)))
+		}
+		d := provenance.FromMonomials(ms...)
+		exact, _, err := Exact(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxy := CNFProxy(d)
+		if exact.Ranking()[0] == proxy.Ranking()[0] {
+			agree++
+		}
+		total++
+	}
+	if agree < total*9/10 {
+		t.Errorf("proxy top-1 agreement %d/%d too low", agree, total)
+	}
+}

@@ -1,0 +1,74 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/shapley"
+)
+
+func randomRankings(rng *rand.Rand, tuples, facts int) []TupleRanking {
+	out := make([]TupleRanking, tuples)
+	for i := range out {
+		scores := shapley.Values{}
+		for f := 0; f < 1+rng.Intn(facts); f++ {
+			scores[relation.FactID(rng.Intn(facts*2))] = rng.Float64()
+		}
+		out[i] = TupleRanking{Scores: scores}
+	}
+	return out
+}
+
+func TestRankBasedBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomRankings(rng, 1+rng.Intn(5), 6)
+		b := randomRankings(rng, 1+rng.Intn(5), 6)
+		s := RankBased(a, b)
+		return s >= 0 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankBasedSelfIsMaximalProperty(t *testing.T) {
+	// sim_r(q, q) must dominate sim_r(q, q') for random q'.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomRankings(rng, 2+rng.Intn(4), 6)
+		b := randomRankings(rng, 2+rng.Intn(4), 6)
+		return RankBased(a, a) >= RankBased(a, b)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankBasedMatchingRespectsAlignmentQuality(t *testing.T) {
+	// Two queries with one perfectly matching tuple each and one garbage
+	// tuple: the matching must pick the perfect pair.
+	shared := shapley.Values{1: 0.8, 2: 0.15, 3: 0.05}
+	junkA := shapley.Values{10: 0.9, 11: 0.1}
+	junkB := shapley.Values{20: 0.6, 21: 0.4}
+	a := []TupleRanking{{Scores: shared}, {Scores: junkA}}
+	b := []TupleRanking{{Scores: junkB}, {Scores: shared}}
+	got := RankBased(a, b)
+	// The perfect pair contributes weight 1; the junk pair some w in [0,1].
+	// Similarity = (1 + w) / (2 + 2 - 2) ≥ 1/2.
+	if got < 0.5 {
+		t.Errorf("sim = %v, expected ≥ 0.5 from the perfect alignment", got)
+	}
+}
+
+func TestKendallTauWeakOrderInvariance(t *testing.T) {
+	// Scaling all scores by a positive constant changes nothing.
+	a := shapley.Values{1: 0.5, 2: 0.3, 3: 0.1}
+	b := shapley.Values{1: 5, 2: 3, 3: 1}
+	c := shapley.Values{1: 0.2, 2: 0.9, 3: 0.4}
+	if KendallTau(a, c) != KendallTau(b, c) {
+		t.Error("Kendall tau must be invariant to monotone rescaling")
+	}
+}

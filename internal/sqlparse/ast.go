@@ -1,0 +1,183 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// CompareOp enumerates the comparison operators of the fragment.
+type CompareOp uint8
+
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLike // prefix match: pattern "abc%" matches strings starting with "abc"
+)
+
+// String renders the operator in SQL syntax.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpLike:
+		return "LIKE"
+	default:
+		return "?"
+	}
+}
+
+// Apply evaluates "left op right" on two values.
+func (op CompareOp) Apply(left, right relation.Value) bool {
+	switch op {
+	case OpEq:
+		return left.Equal(right)
+	case OpNe:
+		return !left.Equal(right)
+	case OpLt:
+		return left.Compare(right) < 0
+	case OpLe:
+		return left.Compare(right) <= 0
+	case OpGt:
+		return left.Compare(right) > 0
+	case OpGe:
+		return left.Compare(right) >= 0
+	case OpLike:
+		pat := right.AsString()
+		s := left.AsString()
+		if strings.HasSuffix(pat, "%") {
+			return strings.HasPrefix(s, strings.TrimSuffix(pat, "%"))
+		}
+		return s == pat
+	default:
+		return false
+	}
+}
+
+// ColumnRef is a fully qualified column reference "relation.column".
+type ColumnRef struct {
+	Relation string
+	Column   string
+}
+
+// String renders the reference as "rel.col" (lower-cased, canonical).
+func (c ColumnRef) String() string {
+	return strings.ToLower(c.Relation) + "." + strings.ToLower(c.Column)
+}
+
+// Less orders references lexicographically; used to canonicalize joins.
+func (c ColumnRef) Less(o ColumnRef) bool { return c.String() < o.String() }
+
+// Predicate is one conjunct of a WHERE clause: either an equi-join
+// (RightIsColumn) or a selection against a literal.
+type Predicate struct {
+	Left          ColumnRef
+	Op            CompareOp
+	RightIsColumn bool
+	RightColumn   ColumnRef
+	RightValue    relation.Value
+}
+
+// IsJoin reports whether the predicate compares two columns with equality.
+func (p Predicate) IsJoin() bool { return p.RightIsColumn && p.Op == OpEq }
+
+// String renders the predicate in SQL syntax.
+func (p Predicate) String() string {
+	if p.RightIsColumn {
+		return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.RightColumn)
+	}
+	rhs := p.RightValue.String()
+	if p.RightValue.Kind() == relation.KindString {
+		rhs = "'" + rhs + "'"
+	}
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, rhs)
+}
+
+// SelectStmt is one SELECT block of the fragment.
+type SelectStmt struct {
+	Distinct    bool
+	Projections []ColumnRef
+	From        []string
+	Predicates  []Predicate
+}
+
+// Query is a union of SELECT blocks. A single-block query is the common case.
+type Query struct {
+	Selects []SelectStmt
+}
+
+// SQL renders the query back to canonical SQL text.
+func (q *Query) SQL() string {
+	parts := make([]string, len(q.Selects))
+	for i := range q.Selects {
+		parts[i] = q.Selects[i].SQL()
+	}
+	return strings.Join(parts, " UNION ")
+}
+
+// SQL renders one SELECT block to canonical SQL text.
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, p := range s.Projections {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(s.From, ", "))
+	if len(s.Predicates) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range s.Predicates {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	return b.String()
+}
+
+// Tables returns the sorted set of distinct relation names joined anywhere in
+// the query; its size is the paper's query-complexity measure (Figure 9b).
+func (q *Query) Tables() []string {
+	seen := make(map[string]bool)
+	for _, s := range q.Selects {
+		for _, f := range s.From {
+			seen[strings.ToLower(f)] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

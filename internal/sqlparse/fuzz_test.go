@@ -1,0 +1,61 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that any string either fails to parse or round-trips
+// stably through SQL() -> Parse -> SQL(). Seeds cover the full fragment; the
+// corpus also runs as part of `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT a.x FROM a`,
+		`SELECT DISTINCT a.x, b.y FROM a, b WHERE a.x = b.y`,
+		`SELECT a.x FROM a WHERE a.x > 3 AND a.y = 'text' AND a.z LIKE 'p%'`,
+		`SELECT a.x FROM a UNION SELECT b.y FROM b`,
+		`SELECT a.x FROM a GROUP BY a.x`,
+		`SELECT a.x FROM a WHERE a.x = 2.5;`,
+		`select lower.case from lower where lower.case != 0`,
+		`SELECT -- comment
+		 a.x FROM a`,
+		``,
+		`SELECT`,
+		`SELECT a.x FROM`,
+		"SELECT a.x FROM a WHERE a.x = '\x00weird'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := q.SQL()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered SQL does not re-parse: %q -> %q: %v", sql, rendered, err)
+		}
+		if q2.SQL() != rendered {
+			t.Fatalf("canonical form unstable: %q vs %q", rendered, q2.SQL())
+		}
+		// Operations extraction must be total on parsed queries.
+		_ = Operations(q)
+	})
+}
+
+// FuzzLex checks the lexer never panics and always terminates.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{`SELECT 'abc' 1.2.3 <> <= !`, "a.b.c", `"unterminated`} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := Lex(input)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokenEOF {
+			t.Fatal("token stream must end with EOF")
+		}
+	})
+}

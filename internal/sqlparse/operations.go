@@ -1,0 +1,51 @@
+package sqlparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Operation is the canonical string form of one relational-algebra operation
+// of a query under the operation-set representation of Section 2.3:
+//
+//	projection Π_{R.C}            -> "Π{r.c}"
+//	selection  σ_{R.C φ v}        -> "σ{r.c φ v}"
+//	equi-join  ⋈_{R1.C1 = R2.C2}  -> "⋈{a.b=c.d}" with the two sides ordered
+//
+// Two operations are equal iff they are of the same type with the same
+// features, which the canonical string captures exactly.
+type Operation string
+
+// Operations extracts the operation set of the query. Operations from all
+// UNION branches are pooled (the set union), since the representation of [24]
+// is defined per query. The result is sorted and duplicate-free.
+func Operations(q *Query) []Operation {
+	set := make(map[Operation]bool)
+	for i := range q.Selects {
+		s := &q.Selects[i]
+		for _, pr := range s.Projections {
+			set[Operation(fmt.Sprintf("Π{%s}", pr))] = true
+		}
+		for _, pd := range s.Predicates {
+			if pd.IsJoin() {
+				a, b := pd.Left, pd.RightColumn
+				if b.Less(a) {
+					a, b = b, a
+				}
+				set[Operation(fmt.Sprintf("⋈{%s=%s}", a, b))] = true
+			} else if pd.RightIsColumn {
+				// Non-equality column comparison: treat as a selection-shaped
+				// operation keyed on both sides.
+				set[Operation(fmt.Sprintf("σ{%s %s %s}", pd.Left, pd.Op, pd.RightColumn))] = true
+			} else {
+				set[Operation(fmt.Sprintf("σ{%s %s %s}", pd.Left, pd.Op, pd.RightValue))] = true
+			}
+		}
+	}
+	out := make([]Operation, 0, len(set))
+	for op := range set {
+		out = append(out, op)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

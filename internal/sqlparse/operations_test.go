@@ -1,0 +1,104 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+func opSet(ops []Operation) map[Operation]bool {
+	m := make(map[Operation]bool, len(ops))
+	for _, o := range ops {
+		m[o] = true
+	}
+	return m
+}
+
+func TestOperationsExtraction(t *testing.T) {
+	q := MustParse(`SELECT DISTINCT actors.name
+		FROM movies, actors, companies, roles
+		WHERE movies.title = roles.movie AND
+		      actors.name = roles.actor AND
+		      movies.company = companies.name AND
+		      companies.country = 'USA' AND
+		      movies.year = 2007`)
+	ops := Operations(q)
+	if len(ops) != 6 {
+		t.Fatalf("got %d operations: %v", len(ops), ops)
+	}
+	set := opSet(ops)
+	for _, want := range []Operation{
+		"Π{actors.name}",
+		"⋈{movies.title=roles.movie}",
+		"⋈{actors.name=roles.actor}",
+		"⋈{companies.name=movies.company}", // canonical order: sides sorted
+		"σ{companies.country = USA}",
+		"σ{movies.year = 2007}",
+	} {
+		if !set[want] {
+			t.Errorf("missing operation %s in %v", want, ops)
+		}
+	}
+}
+
+func TestOperationsJoinCanonicalOrder(t *testing.T) {
+	a := MustParse(`SELECT a.x FROM a, b WHERE a.x = b.y`)
+	b := MustParse(`SELECT a.x FROM a, b WHERE b.y = a.x`)
+	opsA, opsB := Operations(a), Operations(b)
+	if len(opsA) != len(opsB) {
+		t.Fatalf("op counts differ: %v vs %v", opsA, opsB)
+	}
+	for i := range opsA {
+		if opsA[i] != opsB[i] {
+			t.Errorf("join not canonicalized: %v vs %v", opsA[i], opsB[i])
+		}
+	}
+}
+
+func TestOperationsPaperExample23(t *testing.T) {
+	// Example 2.3: |ops(q_inf) ∩ ops(q1)| = 5, |ops(q_inf) ∪ ops(q1)| = 8.
+	qinf := MustParse(`SELECT DISTINCT actors.name
+		FROM movies, actors, companies, roles
+		WHERE movies.title = roles.movie AND actors.name = roles.actor AND
+		      movies.company = companies.name AND companies.country = 'USA' AND movies.year = 2007`)
+	q1 := MustParse(`SELECT DISTINCT movies.title
+		FROM movies, actors, companies, roles
+		WHERE movies.title = roles.movie AND actors.name = roles.actor AND
+		      movies.company = companies.name AND companies.country = 'USA' AND
+		      movies.year = 2007 AND actors.name = 'Alice'`)
+	a, b := opSet(Operations(qinf)), opSet(Operations(q1))
+	inter, union := 0, len(b)
+	for op := range a {
+		if b[op] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if inter != 5 || union != 8 {
+		t.Errorf("intersection = %d (want 5), union = %d (want 8)", inter, union)
+	}
+}
+
+func TestOperationsUnionPoolsBranches(t *testing.T) {
+	q := MustParse(`SELECT a.x FROM a WHERE a.x = 1 UNION SELECT a.x FROM a WHERE a.x = 2`)
+	ops := Operations(q)
+	// Π{a.x} shared, two distinct selections.
+	if len(ops) != 3 {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestOperationsDeterministicOrder(t *testing.T) {
+	q := MustParse(`SELECT a.x, a.y FROM a, b WHERE a.x = b.y AND a.z > 3`)
+	first := Operations(q)
+	for i := 0; i < 10; i++ {
+		again := Operations(q)
+		if len(again) != len(first) {
+			t.Fatal("length varies")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("order varies at %d: %v vs %v", j, first, again)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperdb"
+	"repro/internal/relation"
+)
+
+func TestTokenizeSQLNormalizes(t *testing.T) {
+	toks := TokenizeSQL(`SELECT Actors.Name FROM actors WHERE actors.age > 30`)
+	joined := strings.Join(toks, " ")
+	if !strings.Contains(joined, "select actors . name from actors") {
+		t.Errorf("tokens = %v", toks)
+	}
+	// Numbers become a bucket token plus the literal.
+	if !strings.Contains(joined, "<num2> 30") {
+		t.Errorf("number tokenization missing: %v", toks)
+	}
+}
+
+func TestTokenizeSQLStringLiteralSplit(t *testing.T) {
+	toks := TokenizeSQL(`SELECT a.x FROM a WHERE a.n = 'University of California San Diego'`)
+	joined := strings.Join(toks, " ")
+	for _, w := range []string{"university", "of", "california", "san", "diego"} {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing word %q in %v", w, toks)
+		}
+	}
+}
+
+func TestTokenizeFact(t *testing.T) {
+	db, f := paperdb.New()
+	_ = db
+	toks := TokenizeFact(f.M[0]) // Superman, 2007, Universal
+	joined := strings.Join(toks, " ")
+	for _, w := range []string{"movies", "superman", "<num4>", "2007", "universal"} {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing %q in %v", w, toks)
+		}
+	}
+}
+
+func TestTokenizeValues(t *testing.T) {
+	toks := TokenizeValues([]relation.Value{relation.Str("Lita Baron"), relation.Int(1949), relation.Null()})
+	joined := strings.Join(toks, " ")
+	for _, w := range []string{"lita", "baron", "1949", "[null]"} {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing %q in %v", w, toks)
+		}
+	}
+}
+
+func TestBuildVocabFrequencyOrder(t *testing.T) {
+	corpus := [][]string{
+		{"common", "common", "common", "rare"},
+		{"common", "mid", "mid"},
+	}
+	tk := Build(corpus, 7) // 5 specials + 2 words
+	if tk.VocabSize() != 7 {
+		t.Fatalf("vocab size = %d", tk.VocabSize())
+	}
+	ids := tk.Encode([]string{"common", "mid", "rare"})
+	if ids[0] == UnkID || ids[1] == UnkID {
+		t.Errorf("frequent words should be in vocab: %v", ids)
+	}
+	if ids[2] != UnkID {
+		t.Errorf("rare word should be UNK with tight budget: %v", ids)
+	}
+}
+
+func TestEncodeUnknown(t *testing.T) {
+	tk := Build([][]string{{"a"}}, 10)
+	ids := tk.Encode([]string{"a", "zzz"})
+	if ids[1] != UnkID {
+		t.Errorf("unknown word id = %d", ids[1])
+	}
+	if tk.Word(ids[0]) != "a" {
+		t.Errorf("Word round trip failed: %q", tk.Word(ids[0]))
+	}
+	if tk.Word(-1) != "[UNK]" || tk.Word(10000) != "[UNK]" {
+		t.Error("out-of-range Word should be [UNK]")
+	}
+}
+
+func TestPackStructure(t *testing.T) {
+	tk := Build([][]string{{"q", "w", "e", "r"}}, 20)
+	p := tk.Pack(12, 2, []string{"q", "w"}, []string{"e", "r"})
+	if len(p.Tokens) != 12 || len(p.Segments) != 12 || len(p.Mask) != 12 {
+		t.Fatalf("lengths = %d %d %d", len(p.Tokens), len(p.Segments), len(p.Mask))
+	}
+	if p.Tokens[0] != ClsID {
+		t.Error("sequence must start with [CLS]")
+	}
+	// [CLS] q w [SEP] e r [SEP] [PAD]...
+	if p.Tokens[3] != SepID || p.Tokens[6] != SepID {
+		t.Errorf("separators misplaced: %v", p.Tokens)
+	}
+	if p.Segments[1] != 0 || p.Segments[4] != 1 {
+		t.Errorf("segments = %v", p.Segments)
+	}
+	if !p.Mask[6] || p.Mask[7] {
+		t.Errorf("mask = %v", p.Mask)
+	}
+	for i := 7; i < 12; i++ {
+		if p.Tokens[i] != PadID {
+			t.Errorf("padding expected at %d: %v", i, p.Tokens)
+		}
+	}
+}
+
+func TestPackTruncatesLongestFirst(t *testing.T) {
+	tk := Build([][]string{{"a", "b", "c", "d", "e", "f"}}, 20)
+	long := []string{"a", "b", "c", "d", "e", "f"}
+	short := []string{"a"}
+	// maxLen 8: CLS + 2 SEPs + 5 content slots; long must shrink to 4.
+	p := tk.Pack(8, 2, long, short)
+	if len(p.Tokens) != 8 {
+		t.Fatalf("len = %d", len(p.Tokens))
+	}
+	seps := 0
+	for _, id := range p.Tokens {
+		if id == SepID {
+			seps++
+		}
+	}
+	if seps != 2 {
+		t.Errorf("separators = %d, want 2 (both segments preserved)", seps)
+	}
+	// The short segment must survive intact.
+	found := false
+	for i, id := range p.Tokens {
+		if p.Segments[i] == 1 && id != SepID && id != PadID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("short segment was truncated away")
+	}
+}
+
+func TestPackThreeSegments(t *testing.T) {
+	tk := Build([][]string{{"a", "b", "c"}}, 20)
+	p := tk.Pack(10, 3, []string{"a"}, []string{"b"}, []string{"c"})
+	// Segment IDs 0, 1, 2.
+	segSeen := map[int]bool{}
+	for i, id := range p.Tokens {
+		if id != PadID && id != ClsID {
+			segSeen[p.Segments[i]] = true
+		}
+	}
+	for s := 0; s < 3; s++ {
+		if !segSeen[s] {
+			t.Errorf("segment %d unused: %v / %v", s, p.Tokens, p.Segments)
+		}
+	}
+}
+
+func TestPackSegmentCap(t *testing.T) {
+	tk := Build([][]string{{"a", "b", "c"}}, 20)
+	p := tk.Pack(10, 2, []string{"a"}, []string{"b"}, []string{"c"})
+	for _, s := range p.Segments {
+		if s > 1 {
+			t.Errorf("segment id %d exceeds cap", s)
+		}
+	}
+}
