@@ -22,6 +22,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "database size multiplier")
 	dumpSQL := flag.Bool("sql", false, "dump the generated workload")
 	similarities := flag.Bool("similarities", true, "compute Table 2 split similarities")
+	workers := flag.Int("workers", 0, "worker goroutines for corpus building (0 = one per CPU); output is identical for every value")
 	flag.Parse()
 
 	kinds := []dataset.Kind{dataset.IMDB, dataset.Academic}
@@ -42,6 +43,7 @@ func main() {
 		cfg.NumQueries = *queries
 		cfg.MaxCasesPerQuery = *cases
 		cfg.Scale = dataset.Scale{Base: *scale}
+		cfg.Workers = *workers
 		start := time.Now()
 		c, err := dataset.Build(cfg)
 		if err != nil {
@@ -62,6 +64,9 @@ func main() {
 
 		if *similarities {
 			sims := dataset.NewSimilarityCache(c)
+			// Fill the cache across workers before the serial averaging pass.
+			all := append(append(append([]int(nil), c.Train...), c.Dev...), c.Test...)
+			sims.Precompute(*workers, all)
 			fmt.Printf("\n%-10s %-14s %12s %12s %12s\n", "database", "metric", "train-train", "train-dev", "train-test")
 			for _, metric := range []string{"syntax", "witness", "rank"} {
 				f := sims.ByMetric(metric)

@@ -22,11 +22,17 @@ import (
 func main() {
 	benchScale := flag.Bool("bench", false, "use the (smaller) bench-scale configuration")
 	only := flag.String("only", "", "comma-separated artifact list (e.g. table1,figure9); empty = all")
+	workers := flag.Int("workers", 0, "worker goroutines for corpus building, training and evaluation (0 = one per CPU); results are identical for every value")
 	flag.Parse()
 
 	cfg := experiments.FullConfig()
 	if *benchScale {
 		cfg = experiments.BenchConfig()
+	}
+	if *workers != 0 {
+		// Leave a REPRO_WORKERS override from BenchConfig in place unless the
+		// flag was given explicitly.
+		cfg.Workers = *workers
 	}
 	start := time.Now()
 	fmt.Println("Building corpora (offline Shapley labeling pipeline)...")

@@ -31,6 +31,7 @@ func main() {
 	explain := flag.Int("explain", -1, "test case index to print a full ranking for")
 	savePath := flag.String("save", "", "write the trained model to this file")
 	loadPath := flag.String("load", "", "load a trained model instead of training")
+	workers := flag.Int("workers", 0, "worker goroutines for corpus building and training (0 = one per CPU); results are identical for every value")
 	flag.Parse()
 
 	kind := dataset.Academic
@@ -41,6 +42,7 @@ func main() {
 	dc.Seed = *seed
 	dc.NumQueries = *queries
 	dc.MaxCasesPerQuery = *cases
+	dc.Workers = *workers
 	fmt.Printf("Building %s corpus (%d queries)...\n", kind, *queries)
 	corpus, err := dataset.Build(dc)
 	if err != nil {
@@ -61,6 +63,7 @@ func main() {
 	default:
 		log.Fatalf("unknown -model %q", *modelFlag)
 	}
+	cfg.Workers = *workers
 
 	var model *core.Model
 	if *loadPath != "" {

@@ -30,6 +30,7 @@ func main() {
 	pepochs := flag.Int("pepochs", 3, "pre-training epochs")
 	ppairs := flag.Int("ppairs", 300, "pre-training pairs per epoch")
 	seed := flag.Int64("seed", 11, "model seed")
+	workers := flag.Int("workers", 0, "worker goroutines for corpus building and training (0 = one per CPU); results are identical for every value")
 	flag.Parse()
 
 	kind := dataset.Academic
@@ -39,6 +40,7 @@ func main() {
 	dc := dataset.DefaultConfig(kind)
 	dc.NumQueries = *queries
 	dc.MaxCasesPerQuery = *cases
+	dc.Workers = *workers
 	start := time.Now()
 	c, err := dataset.Build(dc)
 	if err != nil {
@@ -68,6 +70,7 @@ func main() {
 	cfg.PretrainLR = *plr
 	cfg.PretrainEpochs = *pepochs
 	cfg.PretrainPairsPerEpoch = *ppairs
+	cfg.Workers = *workers
 	if !*pretrain {
 		cfg.PretrainMetrics = nil
 		cfg.PretrainEpochs = 0

@@ -146,3 +146,9 @@ func (nq *NearestQueries) Rank(in core.Input) shapley.Values {
 	}
 	return out
 }
+
+// RankerReplica implements core.ConcurrentRanker. NearestQueries keeps no
+// per-call mutable state — it reads the immutable corpus and the
+// concurrency-safe similarity cache — so Rank is safe for concurrent use and
+// the replica is the ranker itself.
+func (nq *NearestQueries) RankerReplica() core.Ranker { return nq }

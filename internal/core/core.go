@@ -44,3 +44,14 @@ type Ranker interface {
 	// contribution. Scores are comparable within one call only.
 	Rank(in Input) shapley.Values
 }
+
+// ConcurrentRanker is a Ranker that supports data-parallel evaluation.
+// RankerReplica returns a ranker whose Rank may run on another goroutine
+// concurrently with the parent and with other replicas. A replica must
+// produce bit-identical scores to its parent for the same input, so fanning
+// cases out across replicas and reducing in case order is deterministic. A
+// ranker whose Rank is already safe for concurrent use may return itself.
+type ConcurrentRanker interface {
+	Ranker
+	RankerReplica() Ranker
+}

@@ -60,6 +60,12 @@ type ModelConfig struct {
 	// random fact OUTSIDE its lineage, regressed to 0.
 	NegativeSamplesPerEpoch int
 	Seed                    int64
+	// Workers bounds the goroutines used for mini-batch gradients and dev
+	// evaluation during training; <= 0 means one per CPU. Every RNG decision
+	// is pre-drawn on the main goroutine and per-sample gradients are reduced
+	// in sample order, so trained weights are bit-identical for every worker
+	// count.
+	Workers int
 }
 
 // BaseConfig is LearnShapley-base at bench scale.
@@ -107,9 +113,15 @@ func SmallTransformerConfig() ModelConfig {
 	return c
 }
 
-// Model is a trained (or training) LearnShapley instance. Not safe for
-// concurrent use: the encoder caches activations between forward and
-// backward.
+// Model is a trained (or training) LearnShapley instance.
+//
+// Thread-safety contract: a single Model is not safe for concurrent use (the
+// encoder caches activations between forward and backward), but replicas made
+// with CloneForWorker are safe to use concurrently with each other and with
+// the parent — they share the weight tensors, which are read-only at
+// inference, while each replica owns the mutable state (activation caches,
+// gradient accumulators, token cache). Rank/RankOn/RankCase therefore run
+// concurrently by giving each worker goroutine its own replica.
 type Model struct {
 	Cfg      ModelConfig
 	tok      *tokenizer.Tokenizer
@@ -131,7 +143,14 @@ func (m *Model) Name() string { return m.Cfg.Name }
 
 // newModel builds the network once the vocabulary is known.
 func newModel(cfg ModelConfig, tok *tokenizer.Tokenizer, rng *rand.Rand) *Model {
-	ps := &nn.Params{}
+	return assemble(cfg, tok, &nn.Params{}, rng)
+}
+
+// assemble wires the network structure around a parameter registry. The
+// constructor sequence here is the replica contract: CloneForWorker re-runs
+// it over a replay registry, so every nn constructor call must happen in the
+// same order for primaries and replicas.
+func assemble(cfg ModelConfig, tok *tokenizer.Tokenizer, ps *nn.Params, rng *rand.Rand) *Model {
 	enc := nn.NewEncoder(nn.Config{
 		VocabSize: tok.VocabSize(),
 		MaxSeqLen: cfg.MaxSeqLen,
@@ -158,6 +177,24 @@ func newModel(cfg ModelConfig, tok *tokenizer.Tokenizer, rng *rand.Rand) *Model 
 	}
 	return m
 }
+
+// CloneForWorker returns a worker replica of the model: it shares the parent's
+// weight tensors (optimizer updates and checkpoint restores on the parent are
+// immediately visible) but owns its activation caches, gradient accumulators
+// and token cache, so each replica may run forward/backward concurrently with
+// the others. Replica gradients are merged into the parent in a fixed order
+// via nn.(*Params).AddGradsFrom.
+func (m *Model) CloneForWorker() *Model {
+	rep := m.params.CloneForWorker()
+	// The RNG is unused: replica tensors alias the parent's weights and skip
+	// initialization.
+	cm := assemble(m.Cfg, m.tok, rep, rand.New(rand.NewSource(0)))
+	cm.trainDB = m.trainDB
+	return cm
+}
+
+// RankerReplica implements ConcurrentRanker.
+func (m *Model) RankerReplica() Ranker { return m.CloneForWorker() }
 
 // buildVocabulary collects tokens from the training queries, their labeled
 // tuples and lineage facts. Only training data contributes, so test-time

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// buildParityCorpus builds the tiny corpus at a given worker count.
+func buildParityCorpus(t *testing.T, workers int) (*dataset.Corpus, *dataset.SimilarityCache) {
+	t.Helper()
+	cfg := dataset.DefaultConfig(dataset.IMDB)
+	cfg.NumQueries = 14
+	cfg.MaxCasesPerQuery = 5
+	cfg.Workers = workers
+	c, err := dataset.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, dataset.NewSimilarityCache(c)
+}
+
+// TestCorpusWorkerParity asserts that corpus construction is bit-identical
+// for workers=1 and workers=4: same workload, same splits, same labeled
+// tuples, same exact Shapley values.
+func TestCorpusWorkerParity(t *testing.T) {
+	c1, _ := buildParityCorpus(t, 1)
+	c4, _ := buildParityCorpus(t, 4)
+	if len(c1.Queries) != len(c4.Queries) {
+		t.Fatalf("query counts differ: %d vs %d", len(c1.Queries), len(c4.Queries))
+	}
+	for i := range c1.Queries {
+		q1, q4 := c1.Queries[i], c4.Queries[i]
+		if q1.SQL != q4.SQL {
+			t.Fatalf("query %d SQL differs:\n  %s\n  %s", i, q1.SQL, q4.SQL)
+		}
+		if len(q1.Cases) != len(q4.Cases) {
+			t.Fatalf("query %d case counts differ: %d vs %d", i, len(q1.Cases), len(q4.Cases))
+		}
+		for ci := range q1.Cases {
+			cs1, cs4 := q1.Cases[ci], q4.Cases[ci]
+			if cs1.Tuple.Key() != cs4.Tuple.Key() {
+				t.Fatalf("query %d case %d labels different tuples", i, ci)
+			}
+			if len(cs1.Gold) != len(cs4.Gold) {
+				t.Fatalf("query %d case %d gold sizes differ", i, ci)
+			}
+			for id, v := range cs1.Gold {
+				if cs4.Gold[id] != v { // bitwise float equality intended
+					t.Fatalf("query %d case %d fact %d gold %v vs %v", i, ci, id, v, cs4.Gold[id])
+				}
+			}
+		}
+	}
+	for name, pair := range map[string][2][]int{
+		"train": {c1.Train, c4.Train},
+		"dev":   {c1.Dev, c4.Dev},
+		"test":  {c1.Test, c4.Test},
+	} {
+		a, b := pair[0], pair[1]
+		if len(a) != len(b) {
+			t.Fatalf("%s split sizes differ: %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s split differs at %d: %d vs %d", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestTrainWorkerParity asserts that training is bit-identical for workers=1
+// and workers=4: every final weight matches bitwise and the per-epoch dev
+// NDCG trajectories are element-wise equal. MLM is enabled so the mask
+// pre-draw path is exercised too.
+func TestTrainWorkerParity(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MLMWeight = 0.1
+	cfg.PretrainPairsPerEpoch = 40
+	cfg.FinetuneEpochs, cfg.FinetuneSamplesPerEpoch = 2, 120
+
+	train := func(workers int) (*Model, *TrainReport) {
+		c, sims := buildParityCorpus(t, workers)
+		mcfg := cfg
+		mcfg.Workers = workers
+		m, report, err := Train(c, sims, mcfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, report
+	}
+	m1, r1 := train(1)
+	m4, r4 := train(4)
+
+	s1, s4 := m1.params.Snapshot(), m4.params.Snapshot()
+	if len(s1) != len(s4) {
+		t.Fatalf("parameter tensor counts differ: %d vs %d", len(s1), len(s4))
+	}
+	for ti := range s1 {
+		if len(s1[ti]) != len(s4[ti]) {
+			t.Fatalf("tensor %d sizes differ", ti)
+		}
+		for wi := range s1[ti] {
+			if s1[ti][wi] != s4[ti][wi] { // bitwise float equality intended
+				t.Fatalf("tensor %d weight %d differs: %v vs %v", ti, wi, s1[ti][wi], s4[ti][wi])
+			}
+		}
+	}
+	if len(r1.FinetuneDevNDCG) != len(r4.FinetuneDevNDCG) {
+		t.Fatalf("dev NDCG trajectory lengths differ: %d vs %d", len(r1.FinetuneDevNDCG), len(r4.FinetuneDevNDCG))
+	}
+	for e := range r1.FinetuneDevNDCG {
+		if r1.FinetuneDevNDCG[e] != r4.FinetuneDevNDCG[e] {
+			t.Fatalf("dev NDCG at epoch %d differs: %v vs %v", e, r1.FinetuneDevNDCG[e], r4.FinetuneDevNDCG[e])
+		}
+	}
+	for e := range r1.PretrainDevMSE {
+		if r1.PretrainDevMSE[e] != r4.PretrainDevMSE[e] {
+			t.Fatalf("dev MSE at epoch %d differs: %v vs %v", e, r1.PretrainDevMSE[e], r4.PretrainDevMSE[e])
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 	"repro/internal/shapley"
 	"repro/internal/tokenizer"
@@ -26,6 +27,12 @@ type TrainReport struct {
 // similarity pre-training (if configured), Shapley fine-tuning, and dev-set
 // checkpoint selection at both stages. trainIdx defaults to corpus.Train; a
 // subset enables the varying-log-size study of Section 5.6.
+//
+// Training is data-parallel across cfg.Workers goroutines yet bit-identical
+// for every worker count: all RNG decisions (pair draws, MLM masks, sample
+// schedules) are pre-drawn on the main goroutine in the serial order, each
+// mini-batch sample computes its gradient on its own model replica, and the
+// per-sample gradients are summed in sample order before each optimizer step.
 func Train(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg ModelConfig, trainIdx []int) (*Model, *TrainReport, error) {
 	if trainIdx == nil {
 		trainIdx = c.Train
@@ -41,6 +48,11 @@ func Train(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg ModelConfig, tr
 	report := &TrainReport{NumWeights: m.params.NumWeights()}
 
 	if len(cfg.PretrainMetrics) > 0 && cfg.PretrainEpochs > 0 {
+		// Rank-based similarity is by far the most expensive metric; compute
+		// every pair the pre-training loop can touch up front, across workers,
+		// instead of lazily on the training critical path.
+		idx := append(append([]int(nil), trainIdx...), c.Dev...)
+		sims.Precompute(cfg.Workers, idx, cfg.PretrainMetrics...)
 		if err := m.pretrain(c, sims, cfg, trainIdx, rng, report); err != nil {
 			return nil, nil, err
 		}
@@ -49,6 +61,33 @@ func Train(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg ModelConfig, tr
 		return nil, nil, err
 	}
 	return m, report, nil
+}
+
+// replicaSlots builds the per-sample gradient shards of a training run: one
+// model replica per mini-batch slot. Slot i always processes the i-th sample
+// of a batch and its gradients are merged in slot order, which makes the
+// floating-point reduction independent of the worker count.
+func (m *Model) replicaSlots(n int) []*Model {
+	if n < 1 {
+		n = 1
+	}
+	reps := make([]*Model, n)
+	for i := range reps {
+		reps[i] = m.CloneForWorker()
+	}
+	return reps
+}
+
+// batchSize resolves cfg.BatchSize against an epoch length: non-positive
+// values mean one optimizer step per epoch.
+func batchSize(cfg ModelConfig, steps int) int {
+	if cfg.BatchSize > 0 {
+		return cfg.BatchSize
+	}
+	if steps < 1 {
+		return 1
+	}
+	return steps
 }
 
 // tokensForQuery caches the token sequence of a corpus query.
@@ -61,29 +100,53 @@ func (m *Model) tokensForQuery(c *dataset.Corpus, qi int) []string {
 	return t
 }
 
+// pretrainDraw is one pre-training step with every random decision already
+// made: the query pair plus the MLM mask plan (when the MLM objective is on).
+// Workers consume draws without touching any RNG.
+type pretrainDraw struct {
+	qa, qb       int
+	mlmPositions []int
+	mlmTargets   []int
+	mlmTokens    []int // replacement written at mlmPositions[i]; -1 keeps the token
+}
+
 // pretrain optimizes the similarity heads on random train-train query pairs,
 // keeping the snapshot with the lowest dev MSE (dev pairs are train×dev).
+// Mini-batches are data-parallel over per-slot replicas.
 func (m *Model) pretrain(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg ModelConfig,
 	trainIdx []int, rng *rand.Rand, report *TrainReport) error {
 	opt := nn.NewAdam(m.params, cfg.PretrainLR)
+	bs := batchSize(cfg, cfg.PretrainPairsPerEpoch)
+	reps := m.replicaSlots(min(bs, cfg.PretrainPairsPerEpoch))
 	best := -1.0
 	var bestSnap [][]float64
 	for epoch := 0; epoch < cfg.PretrainEpochs; epoch++ {
-		batch := 0
-		for s := 0; s < cfg.PretrainPairsPerEpoch; s++ {
-			qa := trainIdx[rng.Intn(len(trainIdx))]
-			qb := trainIdx[rng.Intn(len(trainIdx))]
-			m.pretrainStep(c, sims, qa, qb, rng)
-			batch++
-			if batch == cfg.BatchSize {
-				opt.Step(batch)
-				batch = 0
+		// Pre-draw the epoch's pairs and MLM masks serially from the main
+		// RNG, in the exact order the serial implementation consumed it.
+		draws := make([]pretrainDraw, cfg.PretrainPairsPerEpoch)
+		for s := range draws {
+			d := pretrainDraw{
+				qa: trainIdx[rng.Intn(len(trainIdx))],
+				qb: trainIdx[rng.Intn(len(trainIdx))],
 			}
+			if m.mlmHead != nil {
+				p := m.tok.Pack(m.Cfg.MaxSeqLen, 2, m.tokensForQuery(c, d.qa), m.tokensForQuery(c, d.qb))
+				d.mlmPositions, d.mlmTargets, d.mlmTokens = m.drawMLMMask(p, rng)
+			}
+			draws[s] = d
 		}
-		if batch > 0 {
-			opt.Step(batch)
+		for start := 0; start < len(draws); start += bs {
+			end := min(start+bs, len(draws))
+			batch := draws[start:end]
+			parallel.ForEach(cfg.Workers, len(batch), func(i int) {
+				reps[i].pretrainStep(c, sims, batch[i])
+			})
+			for i := range batch {
+				m.params.AddGradsFrom(reps[i].params)
+			}
+			opt.Step(len(batch))
 		}
-		mse := m.pretrainDevMSE(c, sims, trainIdx, rng)
+		mse := m.pretrainDevMSE(c, sims, cfg, trainIdx, rng, reps)
 		report.PretrainDevMSE = append(report.PretrainDevMSE, mse)
 		if best < 0 || mse < best {
 			best = mse
@@ -100,11 +163,12 @@ func (m *Model) pretrain(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg M
 // pretrainStep accumulates gradients of the multi-head similarity loss
 // ℓ = Σ_metric (pred - sim_metric)² with equal weights (the paper found
 // α=β=γ equal weights best), plus the optional weighted MLM objective.
-func (m *Model) pretrainStep(c *dataset.Corpus, sims *dataset.SimilarityCache, qa, qb int, rng *rand.Rand) float64 {
-	p := m.tok.Pack(m.Cfg.MaxSeqLen, 2, m.tokensForQuery(c, qa), m.tokensForQuery(c, qb))
-	var mlmPositions, mlmTargets []int
-	if m.mlmHead != nil {
-		mlmPositions, mlmTargets = m.applyMLMMask(p, rng)
+func (m *Model) pretrainStep(c *dataset.Corpus, sims *dataset.SimilarityCache, d pretrainDraw) float64 {
+	p := m.tok.Pack(m.Cfg.MaxSeqLen, 2, m.tokensForQuery(c, d.qa), m.tokensForQuery(c, d.qb))
+	for i, pos := range d.mlmPositions {
+		if d.mlmTokens[i] >= 0 {
+			p.Tokens[pos] = d.mlmTokens[i]
+		}
 	}
 	hidden := m.enc.Forward(p.Tokens, p.Segments, p.Mask)
 	loss := 0.0
@@ -112,7 +176,7 @@ func (m *Model) pretrainStep(c *dataset.Corpus, sims *dataset.SimilarityCache, q
 	for _, metric := range m.Cfg.PretrainMetrics {
 		head := m.simHeads[metric]
 		pred := head.Forward(hidden)
-		target := sims.ByMetric(metric)(qa, qb)
+		target := sims.ByMetric(metric)(d.qa, d.qb)
 		diff := pred - target
 		loss += diff * diff
 		g := head.Backward(2*diff, hidden.Rows, hidden.Cols)
@@ -122,8 +186,8 @@ func (m *Model) pretrainStep(c *dataset.Corpus, sims *dataset.SimilarityCache, q
 			total.AddInPlace(g)
 		}
 	}
-	if m.mlmHead != nil && len(mlmPositions) > 0 {
-		mlmLoss, g := m.mlmHead.LossAndBackward(hidden, mlmPositions, mlmTargets)
+	if m.mlmHead != nil && len(d.mlmPositions) > 0 {
+		mlmLoss, g := m.mlmHead.LossAndBackward(hidden, d.mlmPositions, d.mlmTargets)
 		loss += m.Cfg.MLMWeight * mlmLoss
 		g.Scale(m.Cfg.MLMWeight)
 		if total == nil {
@@ -138,11 +202,14 @@ func (m *Model) pretrainStep(c *dataset.Corpus, sims *dataset.SimilarityCache, q
 	return loss
 }
 
-// applyMLMMask corrupts the packed sequence BERT-style: 15% of real,
-// non-special positions are selected; of those, 80% become [MASK], 10% a
-// random vocabulary token, 10% stay unchanged. It returns the selected
-// positions with their original token IDs as prediction targets.
-func (m *Model) applyMLMMask(p tokenizer.Packed, rng *rand.Rand) (positions, targets []int) {
+// drawMLMMask plans a BERT-style corruption of the packed sequence: 15% of
+// real, non-special positions are selected; of those, 80% become [MASK], 10%
+// a random vocabulary token, 10% stay unchanged. It returns the selected
+// positions, their original token IDs as prediction targets, and the
+// replacement token per position (-1 = keep). Only the plan is produced —
+// workers apply it to their own packed copy, keeping all RNG consumption on
+// the main goroutine.
+func (m *Model) drawMLMMask(p tokenizer.Packed, rng *rand.Rand) (positions, targets, replacements []int) {
 	for i, tok := range p.Tokens {
 		if !p.Mask[i] || tok == tokenizer.ClsID || tok == tokenizer.SepID || tok == tokenizer.PadID {
 			continue
@@ -152,35 +219,47 @@ func (m *Model) applyMLMMask(p tokenizer.Packed, rng *rand.Rand) (positions, tar
 		}
 		positions = append(positions, i)
 		targets = append(targets, tok)
+		repl := -1
 		switch r := rng.Float64(); {
 		case r < 0.8:
-			p.Tokens[i] = tokenizer.MaskID
+			repl = tokenizer.MaskID
 		case r < 0.9:
-			p.Tokens[i] = rng.Intn(m.tok.VocabSize())
+			repl = rng.Intn(m.tok.VocabSize())
 		}
+		replacements = append(replacements, repl)
 	}
-	return positions, targets
+	return positions, targets, replacements
 }
 
 // pretrainDevMSE measures the mean squared similarity error on a sample of
-// train×dev pairs.
-func (m *Model) pretrainDevMSE(c *dataset.Corpus, sims *dataset.SimilarityCache, trainIdx []int, rng *rand.Rand) float64 {
+// train×dev pairs. Pairs are pre-drawn serially, scored across workers on the
+// replica pool, and reduced in pair order.
+func (m *Model) pretrainDevMSE(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg ModelConfig,
+	trainIdx []int, rng *rand.Rand, reps []*Model) float64 {
 	if len(c.Dev) == 0 {
 		return 0
 	}
 	const samplePairs = 60
-	total, count := 0.0, 0
-	for s := 0; s < samplePairs; s++ {
-		qa := trainIdx[rng.Intn(len(trainIdx))]
-		qb := c.Dev[rng.Intn(len(c.Dev))]
-		p := m.tok.Pack(m.Cfg.MaxSeqLen, 2, m.tokensForQuery(c, qa), m.tokensForQuery(c, qb))
-		hidden := m.enc.Forward(p.Tokens, p.Segments, p.Mask)
-		for _, metric := range m.Cfg.PretrainMetrics {
-			pred := m.simHeads[metric].Forward(hidden)
-			diff := pred - sims.ByMetric(metric)(qa, qb)
-			total += diff * diff
-			count++
+	pairs := make([][2]int, samplePairs)
+	for s := range pairs {
+		pairs[s] = [2]int{trainIdx[rng.Intn(len(trainIdx))], c.Dev[rng.Intn(len(c.Dev))]}
+	}
+	workers := min(parallel.Workers(cfg.Workers), len(reps))
+	perPair := make([]float64, len(pairs))
+	parallel.ForEachWorker(workers, len(pairs), func(w, s int) {
+		r := reps[w]
+		p := r.tok.Pack(r.Cfg.MaxSeqLen, 2, r.tokensForQuery(c, pairs[s][0]), r.tokensForQuery(c, pairs[s][1]))
+		hidden := r.enc.Forward(p.Tokens, p.Segments, p.Mask)
+		for _, metric := range r.Cfg.PretrainMetrics {
+			pred := r.simHeads[metric].Forward(hidden)
+			diff := pred - sims.ByMetric(metric)(pairs[s][0], pairs[s][1])
+			perPair[s] += diff * diff
 		}
+	})
+	total, count := 0.0, 0
+	for _, v := range perPair {
+		total += v
+		count += len(m.Cfg.PretrainMetrics)
 	}
 	if count == 0 {
 		return 0
@@ -197,7 +276,8 @@ type finetuneSample struct {
 }
 
 // finetune optimizes the Shapley head on (q, t, f) triples, keeping the
-// snapshot with the highest dev NDCG@10.
+// snapshot with the highest dev NDCG@10. The sample schedule is pre-drawn
+// per epoch; mini-batches are data-parallel over per-slot replicas.
 func (m *Model) finetune(c *dataset.Corpus, cfg ModelConfig, trainIdx []int, rng *rand.Rand, report *TrainReport) error {
 	// Materialize the sample pool once.
 	var pool []finetuneSample
@@ -224,42 +304,36 @@ func (m *Model) finetune(c *dataset.Corpus, cfg ModelConfig, trainIdx []int, rng
 		pool = append(pool, negatives...)
 	}
 	opt := nn.NewAdam(m.params, cfg.FinetuneLR)
+	steps := cfg.FinetuneSamplesPerEpoch
+	bs := batchSize(cfg, steps)
+	reps := m.replicaSlots(min(bs, steps))
 	best := -1.0
 	var bestSnap [][]float64
 	for epoch := 0; epoch < cfg.FinetuneEpochs; epoch++ {
 		// Shuffled passes over the pool (rather than i.i.d. draws) so every
 		// (q, t, f) sample is visited with equal frequency; the ranking task
 		// is about relative order within a case, which uneven sampling
-		// distorts.
+		// distorts. The schedule is pre-drawn with the serial draw order.
 		order := rng.Perm(len(pool))
-		steps := cfg.FinetuneSamplesPerEpoch
-		batch := 0
+		schedule := make([]int, steps)
 		for s := 0; s < steps; s++ {
-			sm := pool[order[s%len(order)]]
+			schedule[s] = order[s%len(order)]
 			if s > 0 && s%len(order) == 0 {
 				order = rng.Perm(len(pool))
 			}
-			q := c.Queries[sm.query]
-			cs := q.Cases[sm.caseI]
-			qToks := m.tokensForQuery(c, sm.query)
-			tToks := tokenizer.TokenizeValues(cs.Tuple.Values)
-			fToks := tokenizer.TokenizeFact(c.DB.Fact(sm.fact))
-			p := m.tok.Pack(m.Cfg.MaxSeqLen, 3, qToks, tToks, fToks)
-			hidden := m.enc.Forward(p.Tokens, p.Segments, p.Mask)
-			pred := m.shapHead.Forward(hidden)
-			diff := pred - sm.gold*cfg.TargetScale
-			g := m.shapHead.Backward(2*diff, hidden.Rows, hidden.Cols)
-			m.enc.Backward(g)
-			batch++
-			if batch == cfg.BatchSize {
-				opt.Step(batch)
-				batch = 0
+		}
+		for start := 0; start < steps; start += bs {
+			end := min(start+bs, steps)
+			batch := schedule[start:end]
+			parallel.ForEach(cfg.Workers, len(batch), func(i int) {
+				reps[i].finetuneStep(c, pool[batch[i]], cfg)
+			})
+			for i := range batch {
+				m.params.AddGradsFrom(reps[i].params)
 			}
+			opt.Step(len(batch))
 		}
-		if batch > 0 {
-			opt.Step(batch)
-		}
-		ndcg := m.devNDCG(c)
+		ndcg := m.devNDCG(c, cfg.Workers, reps)
 		report.FinetuneDevNDCG = append(report.FinetuneDevNDCG, ndcg)
 		// >= so that ties keep the most-trained weights; dev sets can
 		// saturate NDCG early while test quality still improves.
@@ -273,6 +347,22 @@ func (m *Model) finetune(c *dataset.Corpus, cfg ModelConfig, trainIdx []int, rng
 	}
 	report.BestDevNDCG = best
 	return nil
+}
+
+// finetuneStep accumulates the squared-loss gradient of one (q, t, f) sample
+// into the model's (or replica's) accumulators.
+func (m *Model) finetuneStep(c *dataset.Corpus, sm finetuneSample, cfg ModelConfig) {
+	q := c.Queries[sm.query]
+	cs := q.Cases[sm.caseI]
+	qToks := m.tokensForQuery(c, sm.query)
+	tToks := tokenizer.TokenizeValues(cs.Tuple.Values)
+	fToks := tokenizer.TokenizeFact(c.DB.Fact(sm.fact))
+	p := m.tok.Pack(m.Cfg.MaxSeqLen, 3, qToks, tToks, fToks)
+	hidden := m.enc.Forward(p.Tokens, p.Segments, p.Mask)
+	pred := m.shapHead.Forward(hidden)
+	diff := pred - sm.gold*cfg.TargetScale
+	g := m.shapHead.Backward(2*diff, hidden.Rows, hidden.Cols)
+	m.enc.Backward(g)
 }
 
 // sampleNegatives draws (case, non-lineage fact) pairs with target 0.
@@ -294,16 +384,24 @@ func (m *Model) sampleNegatives(c *dataset.Corpus, trainIdx []int, count int, rn
 	return out
 }
 
-// devNDCG evaluates mean NDCG@10 over the dev cases.
-func (m *Model) devNDCG(c *dataset.Corpus) float64 {
-	var scores []float64
+// devNDCG evaluates mean NDCG@10 over the dev cases, ranking cases across
+// workers on the replica pool (weights are read-only at inference) and
+// averaging the scores in case order.
+func (m *Model) devNDCG(c *dataset.Corpus, cfgWorkers int, reps []*Model) float64 {
+	type ref struct{ qi, ci int }
+	var refs []ref
 	for _, qi := range c.Dev {
-		q := c.Queries[qi]
-		for _, cs := range q.Cases {
-			pred := m.RankCase(c, qi, cs)
-			scores = append(scores, metrics.NDCGAtK(pred, cs.Gold, 10))
+		for ci := range c.Queries[qi].Cases {
+			refs = append(refs, ref{qi, ci})
 		}
 	}
+	workers := min(parallel.Workers(cfgWorkers), len(reps))
+	scores := make([]float64, len(refs))
+	parallel.ForEachWorker(workers, len(refs), func(w, i int) {
+		cs := c.Queries[refs[i].qi].Cases[refs[i].ci]
+		pred := reps[w].RankCase(c, refs[i].qi, cs)
+		scores[i] = metrics.NDCGAtK(pred, cs.Gold, 10)
+	})
 	return metrics.Mean(scores)
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/engine"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 	"repro/internal/shapley"
 	"repro/internal/similarity"
@@ -38,6 +39,11 @@ type Config struct {
 	MaxCasesPerQuery int // output tuples labeled with exact Shapley values
 	MaxLineage       int // tuples with larger lineages are not labeled
 	RankTuples       int // tuples per query used by rank-based similarity
+	// Workers bounds the goroutines used to evaluate and Shapley-label the
+	// workload; <= 0 means one per CPU. The corpus is bit-identical for every
+	// worker count — and to a fully serial build — because all RNG draws stay
+	// on the main goroutine in the serial order.
+	Workers int
 }
 
 // DefaultConfig returns the bench-scale configuration for a database kind.
@@ -100,7 +106,12 @@ type Corpus struct {
 }
 
 // Build generates the database, the workload, and the Shapley labels — the
-// offline pipeline of Figure 6. Deterministic in Config.Seed.
+// offline pipeline of Figure 6. Deterministic in Config.Seed alone: the output
+// is bit-identical for every Config.Workers value because every RNG draw
+// happens on the main goroutine in the serial order. Parallelism covers the
+// two RNG-free phases — query evaluation and exact Shapley labeling (the
+// dominant cost; exponential in lineage width) — with the per-query tuple
+// permutations drawn serially in between.
 func Build(cfg Config) (*Corpus, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var db *relation.Database
@@ -120,54 +131,83 @@ func Build(cfg Config) (*Corpus, error) {
 		return nil, err
 	}
 	c := &Corpus{Config: cfg, DB: db}
-	for i, sql := range sqls {
-		q, err := sqlparse.Parse(sql)
+	c.Queries = make([]*QueryEntry, len(sqls))
+	// Phase 1 (parallel, RNG-free): parse and evaluate every query.
+	err = parallel.ForEachErr(cfg.Workers, len(sqls), func(i int) error {
+		entry, err := evalEntry(db, i, sqls[i])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: re-parse %q: %w", sql, err)
+			return err
 		}
-		res, err := engine.Evaluate(db, q)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: evaluate %q: %w", sql, err)
-		}
-		entry := &QueryEntry{
-			ID:        i,
-			SQL:       sql,
-			Query:     q,
-			Result:    res,
-			Witness:   res.WitnessKeys(),
-			NumTables: len(q.Tables()),
-		}
-		for _, t := range res.Tuples {
-			entry.TotalFacts += len(t.Lineage())
-		}
-		// Sample the tuples to label. Tuples with several derivations have a
-		// non-uniform Shapley profile and carry the ranking signal, so they
-		// are labeled first; single-derivation tuples (where every fact ties
-		// at 1/n and any ranking is perfect) only fill remaining capacity.
-		perm := rng.Perm(len(res.Tuples))
-		for _, interesting := range []bool{true, false} {
-			for _, ti := range perm {
-				if len(entry.Cases) >= cfg.MaxCasesPerQuery {
-					break
-				}
-				t := res.Tuples[ti]
-				if (len(t.Prov.Monomials) >= 2) != interesting {
-					continue
-				}
-				if len(t.Lineage()) > cfg.MaxLineage {
-					continue
-				}
-				gold, _, err := shapley.Exact(t.Prov)
-				if err != nil {
-					continue
-				}
-				entry.Cases = append(entry.Cases, Case{Tuple: t, Gold: gold})
-			}
-		}
-		c.Queries = append(c.Queries, entry)
+		c.Queries[i] = entry
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	// Phase 2 (serial): draw each query's tuple-sampling permutation from the
+	// main RNG in query order — the exact draw sequence of a serial build.
+	perms := make([][]int, len(c.Queries))
+	for i, entry := range c.Queries {
+		perms[i] = rng.Perm(len(entry.Result.Tuples))
+	}
+	// Phase 3 (parallel, RNG-free): exact Shapley labeling per query.
+	parallel.ForEach(cfg.Workers, len(c.Queries), func(i int) {
+		labelEntry(c.Queries[i], cfg, perms[i])
+	})
 	c.split(rng)
 	return c, nil
+}
+
+// evalEntry parses and evaluates one workload query.
+func evalEntry(db *relation.Database, id int, sql string) (*QueryEntry, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: re-parse %q: %w", sql, err)
+	}
+	res, err := engine.Evaluate(db, q)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: evaluate %q: %w", sql, err)
+	}
+	entry := &QueryEntry{
+		ID:        id,
+		SQL:       sql,
+		Query:     q,
+		Result:    res,
+		Witness:   res.WitnessKeys(),
+		NumTables: len(q.Tables()),
+	}
+	for _, t := range res.Tuples {
+		entry.TotalFacts += len(t.Lineage())
+	}
+	return entry, nil
+}
+
+// labelEntry Shapley-labels one query's sampled tuples in the pre-drawn
+// permutation order. Tuples with several derivations have a non-uniform
+// Shapley profile and carry the ranking signal, so they are labeled first;
+// single-derivation tuples (where every fact ties at 1/n and any ranking is
+// perfect) only fill remaining capacity.
+func labelEntry(entry *QueryEntry, cfg Config, perm []int) {
+	res := entry.Result
+	for _, interesting := range []bool{true, false} {
+		for _, ti := range perm {
+			if len(entry.Cases) >= cfg.MaxCasesPerQuery {
+				break
+			}
+			t := res.Tuples[ti]
+			if (len(t.Prov.Monomials) >= 2) != interesting {
+				continue
+			}
+			if len(t.Lineage()) > cfg.MaxLineage {
+				continue
+			}
+			gold, _, err := shapley.Exact(t.Prov)
+			if err != nil {
+				continue
+			}
+			entry.Cases = append(entry.Cases, Case{Tuple: t, Gold: gold})
+		}
+	}
 }
 
 // split shuffles query indices into 70/10/20 train/dev/test, the paper's

@@ -1,28 +1,46 @@
 package dataset
 
 import (
+	"sync"
+
+	"repro/internal/parallel"
 	"repro/internal/similarity"
 )
 
+// simShards is the number of lock shards; pairs hash across them so
+// concurrent lookups of different pairs rarely contend.
+const simShards = 16
+
 // SimilarityCache memoizes pairwise query-similarity scores over a corpus.
 // Rank-based similarity is by far the most expensive (Kendall tau over a
-// bipartite tuple alignment), so all three metrics are computed lazily.
-// The cache is not safe for concurrent use.
+// bipartite tuple alignment), so all three metrics are memoized.
+//
+// The cache is safe for concurrent use: entries live in mutex-guarded shards
+// keyed by the unordered query pair, and every metric is a pure function of
+// the immutable corpus, so two goroutines racing on a miss compute the same
+// value and the second store is a harmless overwrite. Call Precompute to move
+// the expensive metrics off the training critical path entirely.
 type SimilarityCache struct {
-	c       *Corpus
-	syntax  map[[2]int]float64
-	witness map[[2]int]float64
-	rank    map[[2]int]float64
+	c      *Corpus
+	shards [simShards]simShard
+}
+
+type simShard struct {
+	mu      sync.RWMutex
+	metrics map[string]map[[2]int]float64
 }
 
 // NewSimilarityCache returns an empty cache over the corpus.
 func NewSimilarityCache(c *Corpus) *SimilarityCache {
-	return &SimilarityCache{
-		c:       c,
-		syntax:  make(map[[2]int]float64),
-		witness: make(map[[2]int]float64),
-		rank:    make(map[[2]int]float64),
+	s := &SimilarityCache{c: c}
+	for i := range s.shards {
+		s.shards[i].metrics = map[string]map[[2]int]float64{
+			"syntax":  make(map[[2]int]float64),
+			"witness": make(map[[2]int]float64),
+			"rank":    make(map[[2]int]float64),
+		}
 	}
+	return s
 }
 
 func key(i, j int) [2]int {
@@ -32,39 +50,48 @@ func key(i, j int) [2]int {
 	return [2]int{i, j}
 }
 
+// memo returns the cached score for (metric, pair), computing and storing it
+// on a miss. The compute runs outside the lock so slow metrics never serialize
+// unrelated lookups.
+func (s *SimilarityCache) memo(metric string, k [2]int, compute func() float64) float64 {
+	sh := &s.shards[(k[0]*31+k[1])%simShards]
+	sh.mu.RLock()
+	v, ok := sh.metrics[metric][k]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = compute()
+	sh.mu.Lock()
+	sh.metrics[metric][k] = v
+	sh.mu.Unlock()
+	return v
+}
+
 // Syntax returns sim_s between queries i and j of the corpus.
 func (s *SimilarityCache) Syntax(i, j int) float64 {
 	k := key(i, j)
-	if v, ok := s.syntax[k]; ok {
-		return v
-	}
-	v := similarity.Syntax(s.c.Queries[k[0]].Query, s.c.Queries[k[1]].Query)
-	s.syntax[k] = v
-	return v
+	return s.memo("syntax", k, func() float64 {
+		return similarity.Syntax(s.c.Queries[k[0]].Query, s.c.Queries[k[1]].Query)
+	})
 }
 
 // Witness returns sim_w between queries i and j of the corpus.
 func (s *SimilarityCache) Witness(i, j int) float64 {
 	k := key(i, j)
-	if v, ok := s.witness[k]; ok {
-		return v
-	}
-	v := similarity.Witness(s.c.Queries[k[0]].Witness, s.c.Queries[k[1]].Witness)
-	s.witness[k] = v
-	return v
+	return s.memo("witness", k, func() float64 {
+		return similarity.Witness(s.c.Queries[k[0]].Witness, s.c.Queries[k[1]].Witness)
+	})
 }
 
 // Rank returns sim_r between queries i and j of the corpus, computed over
 // the configured per-query tuple cap.
 func (s *SimilarityCache) Rank(i, j int) float64 {
 	k := key(i, j)
-	if v, ok := s.rank[k]; ok {
-		return v
-	}
-	cap := s.c.Config.RankTuples
-	v := similarity.RankBased(s.c.Queries[k[0]].Rankings(cap), s.c.Queries[k[1]].Rankings(cap))
-	s.rank[k] = v
-	return v
+	return s.memo("rank", k, func() float64 {
+		cap := s.c.Config.RankTuples
+		return similarity.RankBased(s.c.Queries[k[0]].Rankings(cap), s.c.Queries[k[1]].Rankings(cap))
+	})
 }
 
 // ByMetric returns the similarity function for a metric name: "syntax",
@@ -78,4 +105,30 @@ func (s *SimilarityCache) ByMetric(metric string) func(i, j int) float64 {
 	default:
 		return s.Syntax
 	}
+}
+
+// Precompute fills the cache for every unordered query pair over idx, for the
+// given metrics (all three when none are named), computing pairs across
+// workers. Subsequent lookups of those pairs are lock-free-fast read hits, so
+// training loops touch no expensive similarity code on their critical path.
+func (s *SimilarityCache) Precompute(workers int, idx []int, metrics ...string) {
+	if len(metrics) == 0 {
+		metrics = []string{"syntax", "witness", "rank"}
+	}
+	seen := make(map[[2]int]bool)
+	var pairs [][2]int
+	for _, i := range idx {
+		for _, j := range idx {
+			k := key(i, j)
+			if !seen[k] {
+				seen[k] = true
+				pairs = append(pairs, k)
+			}
+		}
+	}
+	parallel.ForEach(workers, len(pairs), func(p int) {
+		for _, metric := range metrics {
+			s.ByMetric(metric)(pairs[p][0], pairs[p][1])
+		}
+	})
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // CaseScore is the evaluation of one (query, output tuple) pair.
@@ -44,41 +45,66 @@ func inputFor(c *dataset.Corpus, qi int, cs dataset.Case) core.Input {
 }
 
 // evaluateRanker scores a ranker over the labeled cases of the given query
-// split, capped at maxCases pairs.
-func evaluateRanker(c *dataset.Corpus, r core.Ranker, split []int, maxCases int) EvalResult {
+// split, capped at maxCases pairs. Cases are ranked across workers when the
+// ranker supports replicas (core.ConcurrentRanker) and reduced in case order,
+// so the result is identical for every worker count; pass workers=1 when
+// per-case inference timings must not share the machine (Table 6).
+func evaluateRanker(c *dataset.Corpus, r core.Ranker, split []int, maxCases, workers int) EvalResult {
 	res := EvalResult{Method: r.Name()}
+	// Flatten the split into (query, case) refs, respecting the cap.
+	type ref struct{ qi, ci int }
+	var refs []ref
 	for _, qi := range split {
-		q := c.Queries[qi]
-		for ci, cs := range q.Cases {
-			if maxCases > 0 && res.NumCases >= maxCases {
+		for ci := range c.Queries[qi].Cases {
+			if maxCases > 0 && len(refs) >= maxCases {
 				break
 			}
-			in := inputFor(c, qi, cs)
-			start := time.Now()
-			pred := r.Rank(in)
-			elapsed := float64(time.Since(start).Microseconds()) / 1000.0
-			score := CaseScore{
-				QueryIdx:    qi,
-				CaseIdx:     ci,
-				NDCG10:      metrics.NDCGAtK(pred, cs.Gold, 10),
-				P1:          metrics.PrecisionAtK(pred, cs.Gold, 1),
-				P3:          metrics.PrecisionAtK(pred, cs.Gold, 3),
-				P5:          metrics.PrecisionAtK(pred, cs.Gold, 5),
-				LineageSize: len(cs.Gold),
-				NumTables:   q.NumTables,
-				InferenceMS: elapsed,
-			}
-			res.PerCase = append(res.PerCase, score)
-			res.NDCG10 += score.NDCG10
-			res.P1 += score.P1
-			res.P3 += score.P3
-			res.P5 += score.P5
-			res.AvgMS += elapsed
-			if elapsed > res.MaxMS {
-				res.MaxMS = elapsed
-			}
-			res.NumCases++
+			refs = append(refs, ref{qi, ci})
 		}
+	}
+	// One ranker per worker slot: slot 0 is the ranker itself, the rest are
+	// replicas. Rankers without replica support evaluate serially.
+	workers = parallel.Workers(workers)
+	cr, concurrent := r.(core.ConcurrentRanker)
+	if !concurrent {
+		workers = 1
+	}
+	rankers := make([]core.Ranker, workers)
+	rankers[0] = r
+	for w := 1; w < workers; w++ {
+		rankers[w] = cr.RankerReplica()
+	}
+	res.PerCase = make([]CaseScore, len(refs))
+	parallel.ForEachWorker(workers, len(refs), func(w, i int) {
+		qi, ci := refs[i].qi, refs[i].ci
+		q := c.Queries[qi]
+		cs := q.Cases[ci]
+		in := inputFor(c, qi, cs)
+		start := time.Now()
+		pred := rankers[w].Rank(in)
+		elapsed := float64(time.Since(start).Microseconds()) / 1000.0
+		res.PerCase[i] = CaseScore{
+			QueryIdx:    qi,
+			CaseIdx:     ci,
+			NDCG10:      metrics.NDCGAtK(pred, cs.Gold, 10),
+			P1:          metrics.PrecisionAtK(pred, cs.Gold, 1),
+			P3:          metrics.PrecisionAtK(pred, cs.Gold, 3),
+			P5:          metrics.PrecisionAtK(pred, cs.Gold, 5),
+			LineageSize: len(cs.Gold),
+			NumTables:   q.NumTables,
+			InferenceMS: elapsed,
+		}
+	})
+	for _, score := range res.PerCase {
+		res.NDCG10 += score.NDCG10
+		res.P1 += score.P1
+		res.P3 += score.P3
+		res.P5 += score.P5
+		res.AvgMS += score.InferenceMS
+		if score.InferenceMS > res.MaxMS {
+			res.MaxMS = score.InferenceMS
+		}
+		res.NumCases++
 	}
 	if res.NumCases > 0 {
 		n := float64(res.NumCases)

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestEvaluateRankerWorkerParity asserts that parallel evaluation returns the
+// same result as serial evaluation, per case and in aggregate.
+func TestEvaluateRankerWorkerParity(t *testing.T) {
+	s := testSuite(t)
+	c, _ := s.Corpus(dataset.IMDB)
+	for _, metric := range []string{"syntax", "witness"} {
+		nq := s.Baseline(dataset.IMDB, metric, 3)
+		r1 := evaluateRanker(c, nq, c.Test, s.Cfg.MaxEvalCases, 1)
+		r4 := evaluateRanker(c, nq, c.Test, s.Cfg.MaxEvalCases, 4)
+		if r1.NumCases != r4.NumCases {
+			t.Fatalf("%s: case counts differ: %d vs %d", metric, r1.NumCases, r4.NumCases)
+		}
+		// Bitwise float equality intended: the reduction is index-ordered.
+		if r1.NDCG10 != r4.NDCG10 || r1.P1 != r4.P1 || r1.P3 != r4.P3 || r1.P5 != r4.P5 {
+			t.Fatalf("%s: aggregate scores differ: %+v vs %+v", metric, r1, r4)
+		}
+		for i := range r1.PerCase {
+			a, b := r1.PerCase[i], r4.PerCase[i]
+			if a.QueryIdx != b.QueryIdx || a.CaseIdx != b.CaseIdx || a.NDCG10 != b.NDCG10 || a.P1 != b.P1 {
+				t.Fatalf("%s: case %d differs: %+v vs %+v", metric, i, a, b)
+			}
+		}
+	}
+}

@@ -9,6 +9,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
+	"strconv"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -28,16 +30,30 @@ type Config struct {
 	// SweepFinetuneEpochs trims training in multi-model sweeps
 	// (Table 4 / Figure 11) to keep wall-clock sane.
 	SweepFinetuneEpochs int
+	// Workers bounds the goroutines used for corpus building, training and
+	// evaluation; <= 0 means one per CPU. Results are bit-identical for every
+	// value (see internal/parallel). NewSuite copies it into the dataset and
+	// model configs.
+	Workers int
 }
 
 // BenchConfig is the scale used by `go test -bench`: minutes of CPU, every
-// qualitative effect intact.
+// qualitative effect intact. The REPRO_WORKERS environment variable overrides
+// the worker count (0 = one per CPU) so scripts/bench.sh can time the same
+// benchmark at different parallelism without recompiling.
 func BenchConfig() Config {
+	workers := 0
+	if v := os.Getenv("REPRO_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			workers = n
+		}
+	}
 	base := core.BaseConfig()
 	base.FinetuneEpochs, base.FinetuneSamplesPerEpoch = 5, 1600
 	large := core.LargeConfig()
 	large.FinetuneEpochs, large.FinetuneSamplesPerEpoch = 5, 1600
 	return Config{
+		Workers:             workers,
 		Seed:                1,
 		QueriesPerDB:        36,
 		Scale:               dataset.Scale{Base: 1},
@@ -84,6 +100,8 @@ type Suite struct {
 
 // NewSuite builds both corpora (the offline pipeline of Figure 6).
 func NewSuite(cfg Config) (*Suite, error) {
+	cfg.Base.Workers = cfg.Workers
+	cfg.Large.Workers = cfg.Workers
 	s := &Suite{Cfg: cfg, models: make(map[string]*core.Model), reports: make(map[string]*core.TrainReport)}
 	for _, kind := range []dataset.Kind{dataset.IMDB, dataset.Academic} {
 		dc := dataset.DefaultConfig(kind)
@@ -91,6 +109,7 @@ func NewSuite(cfg Config) (*Suite, error) {
 		dc.NumQueries = cfg.QueriesPerDB
 		dc.Scale = cfg.Scale
 		dc.MaxCasesPerQuery = cfg.MaxCasesPerQuery
+		dc.Workers = cfg.Workers
 		c, err := dataset.Build(dc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: build %s corpus: %w", kind, err)

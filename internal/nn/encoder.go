@@ -31,8 +31,12 @@ func (c *Config) Validate() {
 
 // Encoder is a BERT-style transformer encoder: token + position + segment
 // embeddings followed by post-norm attention/FFN blocks. One Encoder instance
-// processes one sequence at a time (Forward then Backward); it is not safe
-// for concurrent use.
+// processes one sequence at a time (Forward then Backward); a single instance
+// is not safe for concurrent use because it caches activations between the
+// two passes. For data-parallel execution, build one encoder per worker over
+// a Params.CloneForWorker registry: the replicas share weight storage
+// (read-only during the forward/backward passes) while each owns its
+// activation caches and gradient accumulators.
 type Encoder struct {
 	Cfg    Config
 	tokEmb *Param

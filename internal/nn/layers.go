@@ -63,11 +63,15 @@ type LayerNorm struct {
 	norm       *Mat
 }
 
-// NewLayerNorm registers a layer-norm with gain 1 and bias 0.
+// NewLayerNorm registers a layer-norm with gain 1 and bias 0. On a worker
+// replica the gains are left untouched: they alias the primary's (possibly
+// already trained) weights.
 func NewLayerNorm(ps *Params, name string, dim int) *LayerNorm {
 	ln := &LayerNorm{Dim: dim, Gain: ps.New(name+".g", dim), Bias: ps.New(name+".b", dim), eps: 1e-5}
-	for i := range ln.Gain.W {
-		ln.Gain.W[i] = 1
+	if !ln.Gain.shared {
+		for i := range ln.Gain.W {
+			ln.Gain.W[i] = 1
+		}
 	}
 	return ln
 }

@@ -11,6 +11,10 @@ type Param struct {
 	W    []float64 // weights
 	G    []float64 // gradient, accumulated across a mini-batch
 	m, v []float64 // Adam first/second moment
+
+	// shared marks a worker replica: W aliases the primary registry's slice
+	// and must never be re-initialized or optimized through this Param.
+	shared bool
 }
 
 func newParam(name string, size int) *Param {
@@ -23,8 +27,12 @@ func newParam(name string, size int) *Param {
 	}
 }
 
-// initNormal fills the weights with N(0, std²) draws.
+// initNormal fills the weights with N(0, std²) draws. On a worker replica the
+// call is a no-op: the weights belong to the primary registry.
 func (p *Param) initNormal(rng *rand.Rand, std float64) {
+	if p.shared {
+		return
+	}
 	for i := range p.W {
 		p.W[i] = rng.NormFloat64() * std
 	}
@@ -40,13 +48,67 @@ func (p *Param) ZeroGrad() {
 // Params is the registry of all learnable tensors of a model.
 type Params struct {
 	list []*Param
+
+	// replay, when non-nil, makes New hand out these pre-built replicas in
+	// registration order instead of allocating. Set by CloneForWorker so a
+	// replica network can be assembled by re-running the exact constructor
+	// sequence of the primary.
+	replay    []*Param
+	replayIdx int
 }
 
-// New registers a fresh parameter tensor.
+// New registers a fresh parameter tensor. On a registry produced by
+// CloneForWorker it instead returns the next replica tensor, verifying that
+// the constructor sequence matches the primary's.
 func (ps *Params) New(name string, size int) *Param {
+	if ps.replay != nil {
+		if ps.replayIdx >= len(ps.replay) {
+			panic("nn: replica registry exhausted; constructor sequence diverged")
+		}
+		p := ps.replay[ps.replayIdx]
+		if p.Name != name || len(p.W) != size {
+			panic("nn: replica tensor " + p.Name + " does not match requested " + name)
+		}
+		ps.replayIdx++
+		ps.list = append(ps.list, p)
+		return p
+	}
 	p := newParam(name, size)
 	ps.list = append(ps.list, p)
 	return p
+}
+
+// CloneForWorker returns a registry of worker replicas: every tensor shares
+// this registry's weight slice (optimizer updates are immediately visible to
+// all replicas) but owns a fresh gradient accumulator, so replicas may run
+// Forward/Backward concurrently with each other. The result is in replay
+// mode: pass it through the same network constructor sequence as the primary
+// (e.g. NewEncoder plus the heads, in the same order) to assemble the replica
+// network around the shared weights. Replicas cannot be optimized directly;
+// merge their gradients into the primary with AddGradsFrom.
+func (ps *Params) CloneForWorker() *Params {
+	rep := make([]*Param, len(ps.list))
+	for i, p := range ps.list {
+		rep[i] = &Param{Name: p.Name, W: p.W, G: make([]float64, len(p.W)), shared: true}
+	}
+	return &Params{replay: rep}
+}
+
+// AddGradsFrom accumulates a worker replica's gradients into this registry's
+// accumulators (element order, tensor by tensor — bit-identical regardless of
+// which worker produced them) and clears the replica's. The replica must have
+// been produced by CloneForWorker on this registry.
+func (ps *Params) AddGradsFrom(rep *Params) {
+	if len(rep.list) != len(ps.list) {
+		panic("nn: replica registry does not match primary")
+	}
+	for i, p := range ps.list {
+		rg := rep.list[i].G
+		for j, g := range rg {
+			p.G[j] += g
+			rg[j] = 0
+		}
+	}
 }
 
 // All returns the registered parameters.
@@ -99,8 +161,14 @@ type Adam struct {
 }
 
 // NewAdam returns an optimizer over the given parameters with the standard
-// defaults (β1=0.9, β2=0.999, ε=1e-8).
+// defaults (β1=0.9, β2=0.999, ε=1e-8). Worker replicas cannot be optimized:
+// their weights belong to the primary registry.
 func NewAdam(params *Params, lr float64) *Adam {
+	for _, p := range params.list {
+		if p.shared {
+			panic("nn: cannot optimize a worker replica; optimize the primary registry")
+		}
+	}
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipAt: 1.0, targets: params}
 }
 

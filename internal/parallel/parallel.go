@@ -1,0 +1,108 @@
+// Package parallel is the repo's deterministic data-parallel execution layer:
+// a bounded worker pool whose helpers fan independent work items out across
+// goroutines while keeping every observable result bit-identical for every
+// worker count.
+//
+// The determinism contract has two halves:
+//
+//   - Scheduling independence: a work function may write only to state owned
+//     by its index (a slot of a results slice, a per-index RNG, a per-worker
+//     replica), never to state shared across indices.
+//   - Ordered reduction: results are folded in strict index order (MapReduce,
+//     ForEachErr) so floating-point sums do not depend on completion order.
+//
+// Everything concurrent in this repository (corpus labeling, mini-batch
+// gradients, similarity precomputation, evaluation) goes through this package
+// rather than raw goroutines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select one worker
+// per available CPU (GOMAXPROCS). This is the meaning of the `-workers 0`
+// default everywhere a worker knob is exposed.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines.
+// Scheduling order is unspecified; fn must write only to state owned by index
+// i so the outcome is independent of the worker count. With one worker (or
+// n <= 1) the calls run inline on the caller's goroutine.
+func ForEach(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach for callers that keep per-worker state (model
+// replicas, scratch buffers): fn additionally receives the worker slot w in
+// [0, min(workers, n)) executing the call. Calls sharing a slot are
+// sequential; calls on different slots are concurrent.
+func ForEachWorker(workers, n int, fn func(w, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work. All n calls run regardless of
+// failures; the returned error is the one reported at the lowest index, so
+// the result is deterministic under any scheduling.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) and collects the results in index order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapReduce maps [0, n) through mapFn and folds the results in strict index
+// order (i = 0, 1, ..., n-1), so floating-point reductions are bit-identical
+// for every worker count.
+func MapReduce[T, A any](workers, n int, mapFn func(i int) T, acc A, reduceFn func(A, T) A) A {
+	for _, v := range Map(workers, n, mapFn) {
+		acc = reduceFn(acc, v)
+	}
+	return acc
+}

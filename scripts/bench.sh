@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# bench.sh — measures the wall-clock effect of data-parallelism on the two
+# heaviest benchmarks by running each at workers=1 and workers=N (default: one
+# per CPU; override with `bench.sh <N>`), then writes BENCH_parallel.json.
+#
+# Results are bit-identical across worker counts (see internal/parallel), so
+# the two runs do the same numerical work and the ratio is pure scheduling
+# speedup. On a multi-core machine expect >= 2x at N >= 4; on a single-core
+# machine the ratio is ~1 by construction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+N=${1:-$CORES}
+BENCHES="BenchmarkTable3MainResults BenchmarkAblationShapleyAlgorithms"
+OUT=BENCH_parallel.json
+
+# run_bench <workers> <benchmark> -> ns/op on stdout
+run_bench() {
+    local workers=$1 bench=$2
+    REPRO_WORKERS=$workers go test -run '^$' -bench "^${bench}\$" -benchtime=1x -benchmem . \
+        | awk -v b="$bench" '$1 ~ "^"b { print $3; found=1 } END { if (!found) exit 1 }'
+}
+
+echo "cores=$CORES, comparing workers=1 vs workers=$N"
+rows=""
+for bench in $BENCHES; do
+    echo "-- $bench (workers=1)"
+    ns1=$(run_bench 1 "$bench")
+    echo "   ${ns1} ns/op"
+    echo "-- $bench (workers=$N)"
+    nsN=$(run_bench "$N" "$bench")
+    echo "   ${nsN} ns/op"
+    speedup=$(awk -v a="$ns1" -v b="$nsN" 'BEGIN { printf "%.2f", a/b }')
+    echo "   speedup ${speedup}x"
+    rows="$rows    {\"name\": \"$bench\", \"ns_per_op_workers_1\": $ns1, \"ns_per_op_workers_n\": $nsN, \"speedup\": $speedup},\n"
+done
+rows=$(printf '%b' "$rows" | sed '$ s/,$//')
+
+cat > "$OUT" <<EOF
+{
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "cores": $CORES,
+  "workers_compared": [1, $N],
+  "note": "Same seed, bit-identical outputs at both worker counts; ratio is pure scheduling speedup. Single-core machines report ~1.0 by construction.",
+  "benchmarks": [
+$rows
+  ]
+}
+EOF
+echo "wrote $OUT"

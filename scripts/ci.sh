@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's check suite: formatting, vet, build, tests, and the race
+# detector over the concurrency-bearing packages. Run from anywhere; exits
+# non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrency packages) =="
+go test -race ./internal/parallel ./internal/dataset ./internal/core ./internal/experiments
+
+echo "CI PASSED"
