@@ -232,20 +232,11 @@ func (m *Model) Rank(in Input) shapley.Values {
 // RankOn ranks a lineage whose fact IDs refer to the given database. Passing
 // a database other than the training one performs cross-schema inference —
 // the open generalization problem of Section 7; token overlap is then the
-// only transferable signal.
+// only transferable signal. The implementation encodes the shared
+// [CLS] q [SEP] t [SEP] prefix once per lineage and reuses it across facts
+// (see prefix.go); scores are bit-identical to independent per-fact passes.
 func (m *Model) RankOn(db *relation.Database, in Input) shapley.Values {
-	qToks := tokenizer.TokenizeSQL(in.SQL)
-	tToks := tokenizer.TokenizeValues(in.TupleValues)
-	out := make(shapley.Values, len(in.Lineage))
-	for _, id := range in.Lineage {
-		f := db.Fact(id)
-		if f == nil {
-			out[id] = 0
-			continue
-		}
-		out[id] = m.predictShapley(qToks, tToks, tokenizer.TokenizeFact(f))
-	}
-	return out
+	return m.rankOn(db, in)
 }
 
 // db returns the corpus database the model was trained over.

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"repro/internal/nn"
+	"repro/internal/relation"
+	"repro/internal/shapley"
+	"repro/internal/tokenizer"
+)
+
+// lineageScorer scores the facts of one lineage against a fixed (query, tuple)
+// pair. All facts of a lineage share the packed prefix
+//
+//	[CLS] q [SEP] t [SEP]
+//
+// so the scorer tokenizes and encodes that prefix once (through the embedding
+// layer, via nn.PrefixCache) and re-runs only the transformer blocks per fact,
+// with the fact tokens appended as segment 2. Two further differences from the
+// naive per-fact path, both provably bit-preserving for the [CLS] output row
+// (see DESIGN.md "Memory model & kernels"):
+//
+//   - sequences are not padded to MaxSeqLen: attention masks padded keys out of
+//     every softmax and all other layers are row-local, so trailing padding
+//     rows never influence row 0;
+//   - the prefix embedding rows are reused across facts: embeddings and
+//     LayerNorm are row-local and the prefix occupies the same absolute
+//     positions in every sequence of the lineage.
+//
+// The fast path applies only when Pack's truncation rule (tokenizer.FitLengths)
+// would leave the query and tuple segments untrimmed; otherwise the fact
+// segment is long enough to steal prefix budget, the shared prefix differs per
+// fact, and the scorer falls back to the reference path (Model.predictShapley)
+// for those facts — which is the same computation, just without reuse.
+type lineageScorer struct {
+	m            *Model
+	qToks, tToks []string
+	qLen, tLen   int
+
+	pc        *nn.PrefixCache // built lazily on the first fast-path fact
+	prefixLen int
+
+	// Reusable per-fact buffers.
+	suf, sufSeg []int
+	mask        []bool
+	lens        []int
+}
+
+func newLineageScorer(m *Model, in Input) *lineageScorer {
+	s := &lineageScorer{
+		m:     m,
+		qToks: tokenizer.TokenizeSQL(in.SQL),
+		tToks: tokenizer.TokenizeValues(in.TupleValues),
+		lens:  make([]int, 3),
+	}
+	s.qLen, s.tLen = len(s.qToks), len(s.tToks)
+	return s
+}
+
+// buildPrefix encodes [CLS] q [SEP] t [SEP] through the embedding layer once.
+func (s *lineageScorer) buildPrefix() {
+	n := 1 + s.qLen + 1 + s.tLen + 1
+	tokens := make([]int, 0, n)
+	segs := make([]int, 0, n)
+	push := func(id, seg int) {
+		tokens = append(tokens, id)
+		segs = append(segs, seg)
+	}
+	push(tokenizer.ClsID, 0)
+	for _, id := range s.m.tok.Encode(s.qToks) {
+		push(id, 0)
+	}
+	push(tokenizer.SepID, 0)
+	for _, id := range s.m.tok.Encode(s.tToks) {
+		push(id, 1)
+	}
+	push(tokenizer.SepID, 1)
+	s.pc = s.m.enc.EmbedPrefix(tokens, segs)
+	s.prefixLen = n
+}
+
+// score predicts the (unscaled) Shapley value of one fact.
+func (s *lineageScorer) score(f *relation.Fact) float64 {
+	fToks := tokenizer.TokenizeFact(f)
+	s.lens[0], s.lens[1], s.lens[2] = s.qLen, s.tLen, len(fToks)
+	tokenizer.FitLengths(s.m.Cfg.MaxSeqLen, s.lens)
+	if s.lens[0] != s.qLen || s.lens[1] != s.tLen {
+		// Truncation reached into the shared prefix: take the reference path.
+		return s.m.predictShapley(s.qToks, s.tToks, fToks)
+	}
+	if s.pc == nil {
+		s.buildPrefix()
+	}
+	fLen := s.lens[2]
+	s.suf = s.suf[:0]
+	s.sufSeg = s.sufSeg[:0]
+	for _, id := range s.m.tok.Encode(fToks[:fLen]) {
+		s.suf = append(s.suf, id)
+		s.sufSeg = append(s.sufSeg, 2)
+	}
+	s.suf = append(s.suf, tokenizer.SepID)
+	s.sufSeg = append(s.sufSeg, 2)
+	seq := s.prefixLen + fLen + 1
+	if cap(s.mask) < seq {
+		s.mask = make([]bool, seq)
+		for i := range s.mask {
+			s.mask[i] = true
+		}
+	}
+	s.mask = s.mask[:seq]
+	hidden := s.m.enc.ForwardWithPrefix(s.pc, s.suf, s.sufSeg, s.mask)
+	return s.m.shapHead.Forward(hidden) / s.m.Cfg.TargetScale
+}
+
+// rankOn is the prefix-reuse implementation behind Model.RankOn.
+func (m *Model) rankOn(db *relation.Database, in Input) shapley.Values {
+	s := newLineageScorer(m, in)
+	out := make(shapley.Values, len(in.Lineage))
+	for _, id := range in.Lineage {
+		f := db.Fact(id)
+		if f == nil {
+			out[id] = 0
+			continue
+		}
+		out[id] = s.score(f)
+	}
+	return out
+}
+
+// rankOnFull is the pre-optimization reference path: every fact is scored by
+// an independent full-length (padded, no prefix reuse) forward pass. Kept for
+// the bit-identity golden test and as the baseline of the end-to-end ranking
+// benchmark (BENCH_kernels.json).
+func (m *Model) rankOnFull(db *relation.Database, in Input) shapley.Values {
+	qToks := tokenizer.TokenizeSQL(in.SQL)
+	tToks := tokenizer.TokenizeValues(in.TupleValues)
+	out := make(shapley.Values, len(in.Lineage))
+	for _, id := range in.Lineage {
+		f := db.Fact(id)
+		if f == nil {
+			out[id] = 0
+			continue
+		}
+		out[id] = m.predictShapley(qToks, tToks, tokenizer.TokenizeFact(f))
+	}
+	return out
+}

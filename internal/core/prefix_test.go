@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// caseInputs collects ranking inputs for every labeled case in the corpus.
+func caseInputs(c *dataset.Corpus) []Input {
+	var ins []Input
+	for qi, q := range c.Queries {
+		for _, cs := range q.Cases {
+			ins = append(ins, Input{
+				SQL:         c.Queries[qi].SQL,
+				Query:       c.Queries[qi].Query,
+				TupleValues: cs.Tuple.Values,
+				Lineage:     cs.Tuple.Lineage(),
+			})
+		}
+	}
+	return ins
+}
+
+// TestRankOnPrefixGolden is the golden bit-identity test for the prefix-reuse
+// ranking path: RankOn (shared-prefix encoding, trimmed sequences) must score
+// every lineage fact bit-for-bit identically to rankOnFull (independent padded
+// full-length forward passes — the pre-optimization reference).
+func TestRankOnPrefixGolden(t *testing.T) {
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	tok := buildVocabulary(c, cfg)
+	m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+	ins := caseInputs(c)
+	if len(ins) == 0 {
+		t.Fatal("corpus has no labeled cases")
+	}
+	facts, fast := 0, 0
+	for _, in := range ins {
+		want := m.rankOnFull(c.DB, in)
+		got := m.RankOn(c.DB, in)
+		if len(got) != len(want) {
+			t.Fatalf("scored %d facts, want %d", len(got), len(want))
+		}
+		for id, w := range want {
+			g, ok := got[id]
+			if !ok {
+				t.Fatalf("fact %v missing from prefix-reuse scores", id)
+			}
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("fact %v: prefix-reuse score %v != reference %v (bits %x vs %x)",
+					id, g, w, math.Float64bits(g), math.Float64bits(w))
+			}
+			facts++
+		}
+		// Count how often the fast path applies at the default sequence length
+		// (the scorer falls back when truncation reaches the prefix).
+		s := newLineageScorer(m, in)
+		for _, id := range in.Lineage {
+			if f := c.DB.Fact(id); f != nil {
+				s.score(f)
+			}
+		}
+		if s.pc != nil {
+			fast++
+		}
+	}
+	if facts == 0 {
+		t.Fatal("no facts compared")
+	}
+	if fast == 0 {
+		t.Error("prefix fast path never engaged; golden test is vacuous")
+	}
+}
+
+// TestRankOnPrefixGoldenTruncated repeats the golden comparison with a
+// sequence budget small enough that Pack's truncation reaches into the query
+// and tuple segments, forcing the per-fact fallback path.
+func TestRankOnPrefixGoldenTruncated(t *testing.T) {
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	cfg.MaxSeqLen = 16
+	tok := buildVocabulary(c, cfg)
+	m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+	fellBack := false
+	for _, in := range caseInputs(c) {
+		want := m.rankOnFull(c.DB, in)
+		got := m.RankOn(c.DB, in)
+		for id, w := range want {
+			if math.Float64bits(got[id]) != math.Float64bits(w) {
+				t.Fatalf("fact %v: truncated score %v != reference %v", id, got[id], w)
+			}
+		}
+		s := newLineageScorer(m, in)
+		for _, id := range in.Lineage {
+			if f := c.DB.Fact(id); f != nil {
+				s.score(f)
+			}
+		}
+		if s.pc == nil && len(in.Lineage) > 0 {
+			fellBack = true
+		}
+	}
+	if !fellBack {
+		t.Error("no lineage exercised the truncation fallback; lower MaxSeqLen")
+	}
+}
+
+// TestRankOnReplicaParity checks that worker replicas produce bit-identical
+// rankings through the prefix-reuse path: replicas share weights but own
+// their workspaces and prefix caches.
+func TestRankOnReplicaParity(t *testing.T) {
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	tok := buildVocabulary(c, cfg)
+	m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+	rep := m.CloneForWorker()
+	for _, in := range caseInputs(c)[:4] {
+		want := m.RankOn(c.DB, in)
+		got := rep.RankOn(c.DB, in)
+		for id, w := range want {
+			if math.Float64bits(got[id]) != math.Float64bits(w) {
+				t.Fatalf("fact %v: replica score %v != primary %v", id, got[id], w)
+			}
+		}
+	}
+}

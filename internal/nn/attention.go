@@ -7,14 +7,16 @@ import (
 
 // MultiHeadAttention is standard scaled dot-product self-attention with h
 // heads over a single sequence [seq×dim]. Padding positions are excluded via
-// an additive mask.
+// the mask; the score+softmax of each head runs through the fused
+// AttnScoresSoftmax kernel. All scratch comes from the caller's Workspace.
 type MultiHeadAttention struct {
 	Dim, Heads int
 	dk         int
 	Wq, Wk, Wv *Linear
 	Wo         *Linear
 
-	// Caches for backward.
+	// Caches for backward. probs is reused across calls (its *Mat slots are
+	// workspace-owned and replaced every Forward).
 	q, k, v *Mat
 	probs   []*Mat // per head [seq×seq]
 	concat  *Mat
@@ -37,33 +39,19 @@ func NewMultiHeadAttention(ps *Params, name string, dim, heads int, rng *rand.Ra
 
 // Forward computes self-attention over x [seq×dim]; mask[i] = true marks a
 // real (non-padding) position.
-func (a *MultiHeadAttention) Forward(x *Mat, mask []bool) *Mat {
+func (a *MultiHeadAttention) Forward(ws *Workspace, x *Mat, mask []bool) *Mat {
 	seq := x.Rows
 	a.mask = mask
-	a.q, a.k, a.v = a.Wq.Forward(x), a.Wk.Forward(x), a.Wv.Forward(x)
-	a.probs = make([]*Mat, a.Heads)
-	a.concat = NewMat(seq, a.Dim)
+	a.q, a.k, a.v = a.Wq.Forward(ws, x), a.Wk.Forward(ws, x), a.Wv.Forward(ws, x)
+	if len(a.probs) != a.Heads {
+		a.probs = make([]*Mat, a.Heads)
+	}
+	a.concat = ws.Get(seq, a.Dim)
 	scale := 1 / math.Sqrt(float64(a.dk))
 	for h := 0; h < a.Heads; h++ {
 		off := h * a.dk
-		scores := NewMat(seq, seq)
-		for i := 0; i < seq; i++ {
-			qi := a.q.Row(i)[off : off+a.dk]
-			srow := scores.Row(i)
-			for j := 0; j < seq; j++ {
-				if !mask[j] {
-					srow[j] = math.Inf(-1)
-					continue
-				}
-				kj := a.k.Row(j)[off : off+a.dk]
-				s := 0.0
-				for t := 0; t < a.dk; t++ {
-					s += qi[t] * kj[t]
-				}
-				srow[j] = s * scale
-			}
-		}
-		scores.SoftmaxRows()
+		scores := ws.Get(seq, seq)
+		AttnScoresSoftmax(a.q, a.k, off, a.dk, scale, mask, scores)
 		a.probs[h] = scores
 		for i := 0; i < seq; i++ {
 			prow := scores.Row(i)
@@ -80,22 +68,22 @@ func (a *MultiHeadAttention) Forward(x *Mat, mask []bool) *Mat {
 			}
 		}
 	}
-	return a.Wo.Forward(a.concat)
+	return a.Wo.Forward(ws, a.concat)
 }
 
 // Backward propagates gradients through the attention and its projections.
-func (a *MultiHeadAttention) Backward(grad *Mat) *Mat {
+func (a *MultiHeadAttention) Backward(ws *Workspace, grad *Mat) *Mat {
 	seq := grad.Rows
-	dConcat := a.Wo.Backward(grad)
-	dq := NewMat(seq, a.Dim)
-	dk := NewMat(seq, a.Dim)
-	dv := NewMat(seq, a.Dim)
+	dConcat := a.Wo.Backward(ws, grad)
+	dq := ws.Get(seq, a.Dim)
+	dk := ws.Get(seq, a.Dim)
+	dv := ws.Get(seq, a.Dim)
 	scale := 1 / math.Sqrt(float64(a.dk))
 	for h := 0; h < a.Heads; h++ {
 		off := h * a.dk
 		probs := a.probs[h]
 		// dV and dProbs.
-		dProbs := NewMat(seq, seq)
+		dProbs := ws.Get(seq, seq)
 		for i := 0; i < seq; i++ {
 			dcrow := dConcat.Row(i)[off : off+a.dk]
 			prow := probs.Row(i)
@@ -141,8 +129,8 @@ func (a *MultiHeadAttention) Backward(grad *Mat) *Mat {
 			}
 		}
 	}
-	dx := a.Wq.Backward(dq)
-	dx.AddInPlace(a.Wk.Backward(dk))
-	dx.AddInPlace(a.Wv.Backward(dv))
+	dx := a.Wq.Backward(ws, dq)
+	dx.AddInPlace(a.Wk.Backward(ws, dk))
+	dx.AddInPlace(a.Wv.Backward(ws, dv))
 	return dx
 }

@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSetup builds an encoder+head at the repo's BaseConfig scale (see
+// internal/core) and a full-length sequence, warmed so every scratch shape is
+// already pooled. Benchmarks over it must report 0 allocs/op.
+func benchSetup() (*Encoder, *RegressionHead, []int, []int, []bool) {
+	rng := rand.New(rand.NewSource(30))
+	ps := &Params{}
+	enc := NewEncoder(Config{
+		VocabSize: 4000, MaxSeqLen: 96, Dim: 32, Heads: 4, Layers: 3, FFNHidden: 64, Segments: 3,
+	}, ps, rng)
+	head := NewRegressionHead(ps, "head", 32, rng)
+	seq := 96
+	tokens := make([]int, seq)
+	segments := make([]int, seq)
+	mask := make([]bool, seq)
+	for i := range tokens {
+		tokens[i] = rng.Intn(4000)
+		segments[i] = i % 3
+		mask[i] = i < 72 // realistic padding tail
+	}
+	for i := 0; i < 2; i++ {
+		encoderStep(enc, head, tokens, segments, mask)
+	}
+	return enc, head, tokens, segments, mask
+}
+
+// BenchmarkEncoderStep measures one full training step (forward + head +
+// backward) with a warmed Workspace. The acceptance gate is 0 allocs/op.
+func BenchmarkEncoderStep(b *testing.B) {
+	enc, head, tokens, segments, mask := benchSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encoderStep(enc, head, tokens, segments, mask)
+	}
+}
+
+// BenchmarkEncoderForward measures inference only (forward + head).
+func BenchmarkEncoderForward(b *testing.B) {
+	enc, head, tokens, segments, mask := benchSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := enc.Forward(tokens, segments, mask)
+		head.Forward(h)
+	}
+}

@@ -36,7 +36,7 @@ func (c *Config) Validate() {
 // two passes. For data-parallel execution, build one encoder per worker over
 // a Params.CloneForWorker registry: the replicas share weight storage
 // (read-only during the forward/backward passes) while each owns its
-// activation caches and gradient accumulators.
+// activation caches, gradient accumulators and Workspace arena.
 type Encoder struct {
 	Cfg    Config
 	tokEmb *Param
@@ -44,6 +44,7 @@ type Encoder struct {
 	segEmb *Param
 	embLN  *LayerNorm
 	layers []*encoderLayer
+	ws     *Workspace
 
 	tokens, segments []int
 }
@@ -57,7 +58,9 @@ type encoderLayer struct {
 	attnIn, ffnIn *Mat
 }
 
-// NewEncoder registers all parameters of the encoder in ps.
+// NewEncoder registers all parameters of the encoder in ps. Every encoder —
+// primary or CloneForWorker replica — owns a private Workspace, so replicas
+// never share scratch storage.
 func NewEncoder(cfg Config, ps *Params, rng *rand.Rand) *Encoder {
 	cfg.Validate()
 	e := &Encoder{
@@ -66,6 +69,7 @@ func NewEncoder(cfg Config, ps *Params, rng *rand.Rand) *Encoder {
 		posEmb: ps.New("emb.pos", cfg.MaxSeqLen*cfg.Dim),
 		segEmb: ps.New("emb.seg", cfg.Segments*cfg.Dim),
 		embLN:  NewLayerNorm(ps, "emb.ln", cfg.Dim),
+		ws:     NewWorkspace(),
 	}
 	e.tokEmb.initNormal(rng, 0.02)
 	e.posEmb.initNormal(rng, 0.02)
@@ -82,39 +86,107 @@ func NewEncoder(cfg Config, ps *Params, rng *rand.Rand) *Encoder {
 	return e
 }
 
+// Workspace exposes the encoder's scratch arena (for tests and benchmarks).
+func (e *Encoder) Workspace() *Workspace { return e.ws }
+
 // Forward encodes one sequence. tokens and segments have equal length ≤
 // MaxSeqLen; mask[i] = true marks real positions (false = padding). It
 // returns the final hidden states [seq×Dim]; row 0 is the [CLS]
-// representation used by every head.
+// representation used by every head. The returned matrix is workspace
+// scratch: it stays valid until the encoder's next forward pass.
 func (e *Encoder) Forward(tokens, segments []int, mask []bool) *Mat {
-	seq := len(tokens)
-	if seq > e.Cfg.MaxSeqLen {
+	if len(tokens) > e.Cfg.MaxSeqLen {
 		panic("nn: sequence exceeds MaxSeqLen")
 	}
+	e.ws.Reset()
 	e.tokens, e.segments = tokens, segments
+	x := e.embedRows(tokens, segments, 0)
+	x = e.embLN.Forward(e.ws, x)
+	return e.encode(x, mask)
+}
+
+// embedRows sums token, position and segment embeddings for rows occupying
+// absolute positions [posOffset, posOffset+len(tokens)).
+func (e *Encoder) embedRows(tokens, segments []int, posOffset int) *Mat {
 	d := e.Cfg.Dim
-	x := NewMat(seq, d)
-	for i := 0; i < seq; i++ {
+	x := e.ws.Get(len(tokens), d)
+	for i := range tokens {
 		row := x.Row(i)
 		tok := e.tokEmb.W[tokens[i]*d : (tokens[i]+1)*d]
-		pos := e.posEmb.W[i*d : (i+1)*d]
+		pos := e.posEmb.W[(posOffset+i)*d : (posOffset+i+1)*d]
 		seg := e.segEmb.W[segments[i]*d : (segments[i]+1)*d]
 		for j := 0; j < d; j++ {
 			row[j] = tok[j] + pos[j] + seg[j]
 		}
 	}
-	x = e.embLN.Forward(x)
+	return x
+}
+
+// encode runs the transformer blocks over post-embedding states x.
+func (e *Encoder) encode(x *Mat, mask []bool) *Mat {
 	for _, l := range e.layers {
 		l.attnIn = x
-		h := l.attn.Forward(x, mask)
+		h := l.attn.Forward(e.ws, x, mask)
 		h.AddInPlace(x)
-		x = l.ln1.Forward(h)
+		x = l.ln1.Forward(e.ws, h)
 		l.ffnIn = x
-		f := l.ffn.Forward(x)
+		f := l.ffn.Forward(e.ws, x)
 		f.AddInPlace(x)
-		x = l.ln2.Forward(f)
+		x = l.ln2.Forward(e.ws, f)
 	}
 	return x
+}
+
+// PrefixCache holds the embedding-layer output (token+position+segment sums,
+// already layer-normalized) of a token prefix that many sequences share. The
+// rows depend only on the prefix token/segment IDs and their absolute
+// positions — both fixed for a shared prefix — so reusing them across suffix
+// variants is bit-identical to recomputing them. The matrix is owned by the
+// cache (not workspace scratch) and survives encoder steps.
+type PrefixCache struct {
+	X *Mat
+}
+
+// Len returns the number of cached prefix positions.
+func (pc *PrefixCache) Len() int { return pc.X.Rows }
+
+// EmbedPrefix computes the post-embedding-LayerNorm rows of a shared prefix
+// once, for reuse across many ForwardWithPrefix calls. Inference-only: it
+// clobbers the embedding LayerNorm's activation caches, so do not interleave
+// with a Forward/Backward training step.
+func (e *Encoder) EmbedPrefix(tokens, segments []int) *PrefixCache {
+	if len(tokens) > e.Cfg.MaxSeqLen {
+		panic("nn: prefix exceeds MaxSeqLen")
+	}
+	e.ws.Reset()
+	x := e.embedRows(tokens, segments, 0)
+	return &PrefixCache{X: e.embLN.Forward(e.ws, x).Clone()}
+}
+
+// ForwardWithPrefix encodes the sequence prefix+suffix, reusing the cached
+// embedding rows of pc for the prefix and embedding only the suffix tokens
+// (which occupy absolute positions starting at pc.Len()). mask covers the
+// full sequence. The hidden states are bit-identical to
+// Forward(prefixTokens+sufTokens, ...): embeddings and LayerNorm are strictly
+// row-local, so cached prefix rows equal freshly computed ones. Inference
+// only — Backward after this pass is unsupported.
+func (e *Encoder) ForwardWithPrefix(pc *PrefixCache, sufTokens, sufSegments []int, mask []bool) *Mat {
+	p := pc.Len()
+	seq := p + len(sufTokens)
+	if seq > e.Cfg.MaxSeqLen {
+		panic("nn: sequence exceeds MaxSeqLen")
+	}
+	e.ws.Reset()
+	e.tokens, e.segments = nil, nil // poison Backward: inference only
+	d := e.Cfg.Dim
+	x := e.ws.Get(seq, d)
+	if len(sufTokens) > 0 {
+		sufX := e.embedRows(sufTokens, sufSegments, p)
+		sufN := e.embLN.Forward(e.ws, sufX)
+		copy(x.Data[p*d:], sufN.Data)
+	}
+	copy(x.Data[:p*d], pc.X.Data)
+	return e.encode(x, mask)
 }
 
 // Backward accumulates gradients for the whole encoder from dL/dHidden.
@@ -122,10 +194,10 @@ func (e *Encoder) Backward(grad *Mat) {
 	for li := len(e.layers) - 1; li >= 0; li-- {
 		l := e.layers[li]
 		g := l.ln2.Backward(grad)
-		gf := l.ffn.Backward(g)
+		gf := l.ffn.Backward(e.ws, g)
 		gf.AddInPlace(g) // residual
 		g = l.ln1.Backward(gf)
-		ga := l.attn.Backward(g)
+		ga := l.attn.Backward(e.ws, g)
 		ga.AddInPlace(g) // residual
 		grad = ga
 	}
@@ -147,28 +219,38 @@ func (e *Encoder) Backward(grad *Mat) {
 // RegressionHead is a linear head on the [CLS] hidden state predicting one
 // scalar, trained with squared loss — the shape of every objective in the
 // paper (three similarity heads during pre-training, one Shapley head during
-// fine-tuning).
+// fine-tuning). Each head owns a private Workspace (reset on Forward), so a
+// warmed head allocates nothing per step.
 type RegressionHead struct {
 	lin *Linear
+	ws  *Workspace
+	cls Mat // reusable 1×Dim view of the [CLS] row
+	g   Mat // reusable 1×1 loss-gradient seed
 }
 
 // NewRegressionHead registers a Dim→1 head.
 func NewRegressionHead(ps *Params, name string, dim int, rng *rand.Rand) *RegressionHead {
-	return &RegressionHead{lin: NewLinear(ps, name, dim, 1, rng)}
+	return &RegressionHead{
+		lin: NewLinear(ps, name, dim, 1, rng),
+		ws:  NewWorkspace(),
+		g:   Mat{Rows: 1, Cols: 1, Data: make([]float64, 1)},
+	}
 }
 
 // Forward returns the scalar prediction from the [CLS] row of hidden.
 func (h *RegressionHead) Forward(hidden *Mat) float64 {
-	cls := &Mat{Rows: 1, Cols: hidden.Cols, Data: hidden.Row(0)}
-	return h.lin.Forward(cls).Data[0]
+	h.ws.Reset()
+	h.cls = Mat{Rows: 1, Cols: hidden.Cols, Data: hidden.Row(0)}
+	return h.lin.Forward(h.ws, &h.cls).Data[0]
 }
 
 // Backward converts a scalar loss gradient into a gradient on the full
-// hidden-state matrix (zero except the [CLS] row).
+// hidden-state matrix (zero except the [CLS] row). The result is scratch of
+// this head's workspace: valid until the head's next Forward.
 func (h *RegressionHead) Backward(dPred float64, seq, dim int) *Mat {
-	g := &Mat{Rows: 1, Cols: 1, Data: []float64{dPred}}
-	dCLS := h.lin.Backward(g)
-	out := NewMat(seq, dim)
+	h.g.Data[0] = dPred
+	dCLS := h.lin.Backward(h.ws, &h.g)
+	out := h.ws.Get(seq, dim)
 	copy(out.Row(0), dCLS.Row(0))
 	return out
 }

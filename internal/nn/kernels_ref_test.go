@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file keeps the original allocating kernels as unexported reference
+// implementations and property-tests the Into/fused kernels against them.
+// "Equal" below always means bit-identical (==, not approximately): the Into
+// kernels must preserve the exact floating-point accumulation order of the
+// originals, or worker-parity guarantees across the repo break.
+
+// refMatMul is the original allocating a·b kernel, verbatim.
+func refMatMul(a, b *Mat) *Mat {
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// refMatMulT is the original allocating a·bᵀ kernel, verbatim.
+func refMatMulT(a, b *Mat) *Mat {
+	out := NewMat(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// refTMatMul is the original allocating aᵀ·b kernel, verbatim.
+func refTMatMul(a, b *Mat) *Mat {
+	out := NewMat(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// randMatZeros fills a matrix with normal draws, forcing a fraction of the
+// entries to exactly zero so the av == 0 skip branch is exercised.
+func randMatZeros(rng *rand.Rand, rows, cols int, zeroFrac float64) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < zeroFrac {
+			m.Data[i] = 0
+		} else {
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// dirty returns a rows×cols matrix pre-filled with garbage, to prove the Into
+// kernels overwrite every element rather than accumulate into stale state.
+func dirty(rng *rand.Rand, rows, cols int) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * 1e6
+	}
+	return m
+}
+
+func assertBitEqual(t *testing.T, name string, got, want *Mat) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %v (bits %x), want %v (bits %x)",
+				name, i, got.Data[i], math.Float64bits(got.Data[i]),
+				want.Data[i], math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+func TestIntoKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(12)
+		n := 1 + rng.Intn(12)
+		zeroFrac := 0.0
+		if trial%2 == 1 {
+			zeroFrac = 0.4 // exercise the av == 0 skip branches
+		}
+		a := randMatZeros(rng, m, k, zeroFrac)
+		b := randMatZeros(rng, k, n, zeroFrac)
+
+		out := dirty(rng, m, n)
+		MatMulInto(a, b, out)
+		assertBitEqual(t, "MatMulInto", out, refMatMul(a, b))
+
+		bt := randMatZeros(rng, n, k, zeroFrac) // a·btᵀ is m×n
+		out = dirty(rng, m, n)
+		MatMulTInto(a, bt, out)
+		assertBitEqual(t, "MatMulTInto", out, refMatMulT(a, bt))
+
+		b2 := randMatZeros(rng, m, n, zeroFrac) // aᵀ·b2 is k×n
+		out = dirty(rng, k, n)
+		TMatMulInto(a, b2, out)
+		assertBitEqual(t, "TMatMulInto", out, refTMatMul(a, b2))
+	}
+}
+
+func TestIntoKernelsFixedValues(t *testing.T) {
+	// Hand-checked values (the former TestMatOps), now against the Into API.
+	a := &Mat{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Mat{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	c := NewMat(2, 2)
+	MatMulInto(a, b, c)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("MatMulInto = %v", c.Data)
+		}
+	}
+	// a·bᵀ where bt is [2×3]: same as MatMul(a, transpose(bt)).
+	bt := &Mat{Rows: 2, Cols: 3, Data: []float64{7, 9, 11, 8, 10, 12}}
+	d := NewMat(2, 2)
+	MatMulTInto(a, bt, d)
+	for i := range want {
+		if d.Data[i] != want[i] {
+			t.Fatalf("MatMulTInto = %v", d.Data)
+		}
+	}
+	// aᵀ·a is symmetric.
+	e := NewMat(3, 3)
+	TMatMulInto(a, a, e)
+	if e.At(0, 1) != e.At(1, 0) {
+		t.Fatalf("TMatMulInto = %+v", e)
+	}
+}
+
+// refAttnScores computes one head's masked attention probabilities the
+// pre-fusion way: materialize scaled scores with -Inf on masked columns, then
+// softmax each row.
+func refAttnScores(q, k *Mat, off, dk int, scale float64, mask []bool) *Mat {
+	seq := q.Rows
+	scores := NewMat(seq, seq)
+	for i := 0; i < seq; i++ {
+		qi := q.Row(i)[off : off+dk]
+		for j := 0; j < seq; j++ {
+			if !mask[j] {
+				scores.Set(i, j, math.Inf(-1))
+				continue
+			}
+			kj := k.Row(j)[off : off+dk]
+			s := 0.0
+			for t := 0; t < dk; t++ {
+				s += qi[t] * kj[t]
+			}
+			scores.Set(i, j, s*scale)
+		}
+	}
+	scores.SoftmaxRows()
+	return scores
+}
+
+func TestAttnScoresSoftmaxMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		seq := 2 + rng.Intn(10)
+		heads := 1 + rng.Intn(3)
+		dk := 1 + rng.Intn(6)
+		dim := heads * dk
+		q := randMatZeros(rng, seq, dim, 0.1)
+		k := randMatZeros(rng, seq, dim, 0.1)
+		mask := make([]bool, seq)
+		mask[0] = true // [CLS] is always real
+		for j := 1; j < seq; j++ {
+			mask[j] = rng.Float64() < 0.7
+		}
+		scale := 1 / math.Sqrt(float64(dk))
+		for h := 0; h < heads; h++ {
+			off := h * dk
+			out := dirty(rng, seq, seq)
+			AttnScoresSoftmax(q, k, off, dk, scale, mask, out)
+			assertBitEqual(t, "AttnScoresSoftmax", out, refAttnScores(q, k, off, dk, scale, mask))
+		}
+	}
+}

@@ -10,6 +10,7 @@ type Linear struct {
 	In, Out int
 	W, B    *Param
 
+	w Mat  // reusable header viewing W as [In×Out]
 	x *Mat // cached input
 }
 
@@ -17,15 +18,15 @@ type Linear struct {
 func NewLinear(ps *Params, name string, in, out int, rng *rand.Rand) *Linear {
 	l := &Linear{In: in, Out: out, W: ps.New(name+".W", in*out), B: ps.New(name+".b", out)}
 	l.W.initNormal(rng, math.Sqrt(2.0/float64(in+out)))
+	l.w = Mat{Rows: in, Cols: out, Data: l.W.W}
 	return l
 }
 
-func (l *Linear) weight() *Mat { return &Mat{Rows: l.In, Cols: l.Out, Data: l.W.W} }
-
-// Forward computes y = xW + b for x of shape [n×In].
-func (l *Linear) Forward(x *Mat) *Mat {
+// Forward computes y = xW + b for x of shape [n×In] into ws scratch.
+func (l *Linear) Forward(ws *Workspace, x *Mat) *Mat {
 	l.x = x
-	y := MatMul(x, l.weight())
+	y := ws.Get(x.Rows, l.Out)
+	MatMulInto(x, &l.w, y)
 	for i := 0; i < y.Rows; i++ {
 		row := y.Row(i)
 		for j := range row {
@@ -35,9 +36,10 @@ func (l *Linear) Forward(x *Mat) *Mat {
 	return y
 }
 
-// Backward accumulates parameter gradients and returns dL/dx.
-func (l *Linear) Backward(grad *Mat) *Mat {
-	gw := TMatMul(l.x, grad) // [In×Out]
+// Backward accumulates parameter gradients and returns dL/dx (ws scratch).
+func (l *Linear) Backward(ws *Workspace, grad *Mat) *Mat {
+	gw := ws.Get(l.In, l.Out)
+	TMatMulInto(l.x, grad, gw)
 	for i, g := range gw.Data {
 		l.W.G[i] += g
 	}
@@ -48,7 +50,9 @@ func (l *Linear) Backward(grad *Mat) *Mat {
 		}
 	}
 	// dL/dx = grad · Wᵀ.
-	return MatMulT(grad, l.weight())
+	dx := ws.Get(grad.Rows, l.In)
+	MatMulTInto(grad, &l.w, dx)
+	return dx
 }
 
 // LayerNorm normalizes each row to zero mean / unit variance and applies a
@@ -76,13 +80,13 @@ func NewLayerNorm(ps *Params, name string, dim int) *LayerNorm {
 	return ln
 }
 
-// Forward normalizes each row of x [n×Dim].
-func (ln *LayerNorm) Forward(x *Mat) *Mat {
+// Forward normalizes each row of x [n×Dim] into ws scratch.
+func (ln *LayerNorm) Forward(ws *Workspace, x *Mat) *Mat {
 	ln.x = x
-	ln.mean = make([]float64, x.Rows)
-	ln.ivar = make([]float64, x.Rows)
-	ln.norm = NewMat(x.Rows, x.Cols)
-	out := NewMat(x.Rows, x.Cols)
+	ln.mean = ws.Floats(x.Rows)
+	ln.ivar = ws.Floats(x.Rows)
+	ln.norm = ws.Get(x.Rows, x.Cols)
+	out := ws.Get(x.Rows, x.Cols)
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		mu := 0.0
@@ -107,9 +111,10 @@ func (ln *LayerNorm) Forward(x *Mat) *Mat {
 	return out
 }
 
-// Backward accumulates gain/bias gradients and returns dL/dx.
+// Backward accumulates gain/bias gradients and returns dL/dx, computed in
+// place: grad is overwritten row by row (each element is read before it is
+// written) and returned, so the pass needs no scratch matrix.
 func (ln *LayerNorm) Backward(grad *Mat) *Mat {
-	out := NewMat(grad.Rows, grad.Cols)
 	d := float64(ln.Dim)
 	for i := 0; i < grad.Rows; i++ {
 		grow, nrow := grad.Row(i), ln.norm.Row(i)
@@ -121,14 +126,13 @@ func (ln *LayerNorm) Backward(grad *Mat) *Mat {
 			ln.Gain.G[j] += grow[j] * nrow[j]
 			ln.Bias.G[j] += grow[j]
 		}
-		orow := out.Row(i)
 		iv := ln.ivar[i]
 		for j := range grow {
 			gn := grow[j] * ln.Gain.W[j]
-			orow[j] = iv * (gn - sumG/d - nrow[j]*sumGN/d)
+			grow[j] = iv * (gn - sumG/d - nrow[j]*sumGN/d)
 		}
 	}
-	return out
+	return grad
 }
 
 // GELU is the Gaussian error linear unit activation (tanh approximation).
@@ -138,27 +142,27 @@ type GELU struct {
 
 const geluC = 0.7978845608028654 // sqrt(2/π)
 
-// Forward applies GELU element-wise.
-func (g *GELU) Forward(x *Mat) *Mat {
+// Forward applies GELU element-wise into ws scratch.
+func (g *GELU) Forward(ws *Workspace, x *Mat) *Mat {
 	g.x = x
-	out := NewMat(x.Rows, x.Cols)
+	out := ws.Get(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		out.Data[i] = 0.5 * v * (1 + math.Tanh(geluC*(v+0.044715*v*v*v)))
 	}
 	return out
 }
 
-// Backward returns dL/dx.
+// Backward returns dL/dx, computed in place over grad (the cached input is a
+// separate matrix, so overwriting grad is safe).
 func (g *GELU) Backward(grad *Mat) *Mat {
-	out := NewMat(grad.Rows, grad.Cols)
 	for i, v := range g.x.Data {
 		u := geluC * (v + 0.044715*v*v*v)
 		t := math.Tanh(u)
 		du := geluC * (1 + 3*0.044715*v*v)
 		d := 0.5*(1+t) + 0.5*v*(1-t*t)*du
-		out.Data[i] = grad.Data[i] * d
+		grad.Data[i] *= d
 	}
-	return out
+	return grad
 }
 
 // FFN is the transformer position-wise feed-forward block:
@@ -177,11 +181,11 @@ func NewFFN(ps *Params, name string, dim, hidden int, rng *rand.Rand) *FFN {
 }
 
 // Forward applies the block to x [n×dim].
-func (f *FFN) Forward(x *Mat) *Mat {
-	return f.L2.Forward(f.act.Forward(f.L1.Forward(x)))
+func (f *FFN) Forward(ws *Workspace, x *Mat) *Mat {
+	return f.L2.Forward(ws, f.act.Forward(ws, f.L1.Forward(ws, x)))
 }
 
 // Backward returns dL/dx.
-func (f *FFN) Backward(grad *Mat) *Mat {
-	return f.L1.Backward(f.act.Backward(f.L2.Backward(grad)))
+func (f *FFN) Backward(ws *Workspace, grad *Mat) *Mat {
+	return f.L1.Backward(ws, f.act.Backward(f.L2.Backward(ws, grad)))
 }

@@ -58,16 +58,19 @@ func scalarize(m *Mat) (float64, *Mat) {
 func TestLinearGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	ps := &Params{}
+	ws := NewWorkspace()
 	l := NewLinear(ps, "lin", 4, 3, rng)
 	x := randMat(rng, 5, 4)
 	forward := func() float64 {
-		y := l.Forward(x)
+		ws.Reset()
+		y := l.Forward(ws, x)
 		loss, grad := scalarize(y)
-		l.Backward(grad)
+		l.Backward(ws, grad)
 		return loss
 	}
 	loss := func() float64 {
-		y := l.Forward(x)
+		ws.Reset()
+		y := l.Forward(ws, x)
 		v, _ := scalarize(y)
 		return v
 	}
@@ -79,16 +82,17 @@ func TestLinearInputGradient(t *testing.T) {
 	ps := &Params{}
 	l := NewLinear(ps, "lin", 4, 3, rng)
 	x := randMat(rng, 2, 4)
-	y := l.Forward(x)
+	ws := NewWorkspace()
+	y := l.Forward(ws, x)
 	_, grad := scalarize(y)
-	dx := l.Backward(grad)
+	dx := l.Backward(ws, grad)
 	const h = 1e-6
 	for i := range x.Data {
 		orig := x.Data[i]
 		x.Data[i] = orig + h
-		up, _ := scalarize(l.Forward(x))
+		up, _ := scalarize(l.Forward(NewWorkspace(), x))
 		x.Data[i] = orig - h
-		down, _ := scalarize(l.Forward(x))
+		down, _ := scalarize(l.Forward(NewWorkspace(), x))
 		x.Data[i] = orig
 		num := (up - down) / (2 * h)
 		if math.Abs(num-dx.Data[i]) > 1e-5*(1+math.Abs(num)) {
@@ -101,15 +105,18 @@ func TestLayerNormGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	ps := &Params{}
 	ln := NewLayerNorm(ps, "ln", 6)
+	ws := NewWorkspace()
 	x := randMat(rng, 3, 6)
 	forward := func() float64 {
-		y := ln.Forward(x)
+		ws.Reset()
+		y := ln.Forward(ws, x)
 		loss, grad := scalarize(y)
 		ln.Backward(grad)
 		return loss
 	}
 	loss := func() float64 {
-		v, _ := scalarize(ln.Forward(x))
+		ws.Reset()
+		v, _ := scalarize(ln.Forward(ws, x))
 		return v
 	}
 	checkGrad(t, ps, forward, loss, 1e-5)
@@ -120,16 +127,16 @@ func TestLayerNormInputGradient(t *testing.T) {
 	ps := &Params{}
 	ln := NewLayerNorm(ps, "ln", 5)
 	x := randMat(rng, 2, 5)
-	y := ln.Forward(x)
+	y := ln.Forward(NewWorkspace(), x)
 	_, grad := scalarize(y)
 	dx := ln.Backward(grad)
 	const h = 1e-6
 	for i := range x.Data {
 		orig := x.Data[i]
 		x.Data[i] = orig + h
-		up, _ := scalarize(ln.Forward(x))
+		up, _ := scalarize(ln.Forward(NewWorkspace(), x))
 		x.Data[i] = orig - h
-		down, _ := scalarize(ln.Forward(x))
+		down, _ := scalarize(ln.Forward(NewWorkspace(), x))
 		x.Data[i] = orig
 		num := (up - down) / (2 * h)
 		if math.Abs(num-dx.Data[i]) > 1e-4*(1+math.Abs(num)) {
@@ -142,16 +149,16 @@ func TestGELUGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	var g GELU
 	x := randMat(rng, 3, 4)
-	y := g.Forward(x)
+	y := g.Forward(NewWorkspace(), x)
 	_, grad := scalarize(y)
 	dx := g.Backward(grad)
 	const h = 1e-6
 	for i := range x.Data {
 		orig := x.Data[i]
 		x.Data[i] = orig + h
-		up, _ := scalarize(g.Forward(x))
+		up, _ := scalarize(g.Forward(NewWorkspace(), x))
 		x.Data[i] = orig - h
-		down, _ := scalarize(g.Forward(x))
+		down, _ := scalarize(g.Forward(NewWorkspace(), x))
 		x.Data[i] = orig
 		num := (up - down) / (2 * h)
 		if math.Abs(num-dx.Data[i]) > 1e-5*(1+math.Abs(num)) {
@@ -164,15 +171,18 @@ func TestFFNGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	ps := &Params{}
 	f := NewFFN(ps, "ffn", 4, 8, rng)
+	ws := NewWorkspace()
 	x := randMat(rng, 3, 4)
 	forward := func() float64 {
-		y := f.Forward(x)
+		ws.Reset()
+		y := f.Forward(ws, x)
 		loss, grad := scalarize(y)
-		f.Backward(grad)
+		f.Backward(ws, grad)
 		return loss
 	}
 	loss := func() float64 {
-		v, _ := scalarize(f.Forward(x))
+		ws.Reset()
+		v, _ := scalarize(f.Forward(ws, x))
 		return v
 	}
 	checkGrad(t, ps, forward, loss, 1e-5)
@@ -182,16 +192,19 @@ func TestAttentionGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	ps := &Params{}
 	a := NewMultiHeadAttention(ps, "attn", 8, 2, rng)
+	ws := NewWorkspace()
 	x := randMat(rng, 5, 8)
 	mask := []bool{true, true, true, true, false} // last position padded
 	forward := func() float64 {
-		y := a.Forward(x, mask)
+		ws.Reset()
+		y := a.Forward(ws, x, mask)
 		loss, grad := scalarize(y)
-		a.Backward(grad)
+		a.Backward(ws, grad)
 		return loss
 	}
 	loss := func() float64 {
-		v, _ := scalarize(a.Forward(x, mask))
+		ws.Reset()
+		v, _ := scalarize(a.Forward(ws, x, mask))
 		return v
 	}
 	checkGrad(t, ps, forward, loss, 1e-4)
@@ -205,11 +218,11 @@ func TestAttentionPaddingIgnored(t *testing.T) {
 	a := NewMultiHeadAttention(ps, "attn", 8, 2, rng)
 	x := randMat(rng, 4, 8)
 	mask := []bool{true, true, true, false}
-	y1 := a.Forward(x, mask)
+	y1 := a.Forward(NewWorkspace(), x, mask).Clone()
 	for j := 0; j < 8; j++ {
 		x.Set(3, j, x.At(3, j)+5)
 	}
-	y2 := a.Forward(x, mask)
+	y2 := a.Forward(NewWorkspace(), x, mask)
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 8; j++ {
 			// The padded row's Q changes its own output row, but rows 0..2
@@ -282,10 +295,10 @@ func TestAdamConvergesOnToyRegression(t *testing.T) {
 		for b := 0; b < 16; b++ {
 			x := randMat(rng, 1, 2)
 			y := 2*x.At(0, 0) - x.At(0, 1) + 0.5
-			pred := l.Forward(x).At(0, 0)
+			pred := l.Forward(NewWorkspace(), x).At(0, 0)
 			diff := pred - y
 			total += diff * diff
-			l.Backward(&Mat{Rows: 1, Cols: 1, Data: []float64{2 * diff}})
+			l.Backward(NewWorkspace(), &Mat{Rows: 1, Cols: 1, Data: []float64{2 * diff}})
 		}
 		opt.Step(16)
 		finalLoss = total / 16
@@ -329,31 +342,6 @@ func TestAdamGradientClipping(t *testing.T) {
 	}
 	if p.G[0] != 0 {
 		t.Error("Step must clear gradients")
-	}
-}
-
-func TestMatOps(t *testing.T) {
-	a := &Mat{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
-	b := &Mat{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
-	c := MatMul(a, b)
-	want := []float64{58, 64, 139, 154}
-	for i := range want {
-		if c.Data[i] != want[i] {
-			t.Fatalf("MatMul = %v", c.Data)
-		}
-	}
-	// a·bᵀ where b is [2×3]: same as MatMul(a, transpose(b)).
-	bt := &Mat{Rows: 2, Cols: 3, Data: []float64{7, 9, 11, 8, 10, 12}}
-	d := MatMulT(a, bt)
-	for i := range want {
-		if d.Data[i] != want[i] {
-			t.Fatalf("MatMulT = %v", d.Data)
-		}
-	}
-	// aᵀ·a is symmetric.
-	e := TMatMul(a, a)
-	if e.Rows != 3 || e.Cols != 3 || e.At(0, 1) != e.At(1, 0) {
-		t.Fatalf("TMatMul = %+v", e)
 	}
 }
 

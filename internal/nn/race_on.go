@@ -1,0 +1,7 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// tests are skipped under race because the detector instruments allocations.
+const raceEnabled = true

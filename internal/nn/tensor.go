@@ -12,6 +12,11 @@
 //     independently testable.
 //   - all randomness flows through an explicit *rand.Rand, so training is
 //     reproducible bit-for-bit.
+//   - all matrix kernels write into caller-provided storage (the Into family)
+//     so a Workspace arena can recycle every scratch matrix; the per-element
+//     floating-point accumulation order is frozen — it must match the
+//     original allocating kernels bit-for-bit (see kernels_ref_test.go), or
+//     the repo-wide worker-parity guarantees break.
 package nn
 
 import (
@@ -46,12 +51,18 @@ func (m *Mat) Clone() *Mat {
 	return out
 }
 
-// MatMul returns a·b.
-func MatMul(a, b *Mat) *Mat {
+// MatMulInto computes out = a·b, overwriting out entirely. out must be
+// a.Rows×b.Cols and must not alias a or b. Rows with zero entries in a are
+// skipped exactly like the original allocating kernel, so the accumulation
+// order (k-major per output row) is unchanged.
+func MatMulInto(a, b, out *Mat) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMat(a.Rows, b.Cols)
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	clear(out.Data)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -65,15 +76,17 @@ func MatMul(a, b *Mat) *Mat {
 			}
 		}
 	}
-	return out
 }
 
-// MatMulT returns a·bᵀ.
-func MatMulT(a, b *Mat) *Mat {
+// MatMulTInto computes out = a·bᵀ, overwriting out entirely. out must be
+// a.Rows×b.Rows and must not alias a or b.
+func MatMulTInto(a, b, out *Mat) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMat(a.Rows, b.Rows)
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: matmulT out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -86,15 +99,19 @@ func MatMulT(a, b *Mat) *Mat {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
-// TMatMul returns aᵀ·b.
-func TMatMul(a, b *Mat) *Mat {
+// TMatMulInto computes out = aᵀ·b, overwriting out entirely. out must be
+// a.Cols×b.Cols and must not alias a or b. The zero-skip branch mirrors the
+// original allocating kernel.
+func TMatMulInto(a, b, out *Mat) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("nn: TmatMul shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMat(a.Cols, b.Cols)
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: TmatMul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
+	}
+	clear(out.Data)
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
@@ -108,7 +125,53 @@ func TMatMul(a, b *Mat) *Mat {
 			}
 		}
 	}
-	return out
+}
+
+// AttnScoresSoftmax is the fused masked scaled-dot-product kernel of one
+// attention head: out[i][j] = softmax_j(scale · q_i·k_j) over columns with
+// mask[j] == true, reading the head slice [off, off+dk) of every q/k row.
+// Masked columns receive probability exactly 0 and their key rows are never
+// read, which is bit-identical to scoring them -Inf and softmaxing (exp(-Inf)
+// contributes +0 to the row sum). out must be q.Rows×q.Rows; every element is
+// written. A row with no unmasked column would be all zeros rather than NaN,
+// but no caller produces one ([CLS] is always unmasked).
+func AttnScoresSoftmax(q, k *Mat, off, dk int, scale float64, mask []bool, out *Mat) {
+	seq := q.Rows
+	for i := 0; i < seq; i++ {
+		qi := q.Row(i)[off : off+dk]
+		row := out.Row(i)
+		max := math.Inf(-1)
+		for j := 0; j < seq; j++ {
+			if !mask[j] {
+				row[j] = 0
+				continue
+			}
+			kj := k.Row(j)[off : off+dk]
+			s := 0.0
+			for t := 0; t < dk; t++ {
+				s += qi[t] * kj[t]
+			}
+			s *= scale
+			row[j] = s
+			if s > max {
+				max = s
+			}
+		}
+		sum := 0.0
+		for j := 0; j < seq; j++ {
+			if !mask[j] {
+				continue
+			}
+			e := math.Exp(row[j] - max)
+			row[j] = e
+			sum += e
+		}
+		for j := 0; j < seq; j++ {
+			if mask[j] {
+				row[j] /= sum
+			}
+		}
+	}
 }
 
 // AddInPlace adds o to m element-wise.

@@ -7,29 +7,34 @@ import (
 
 // VocabHead is a linear projection from hidden states to vocabulary logits
 // with a softmax cross-entropy loss — the output layer of masked-language-
-// model pre-training.
+// model pre-training. The head owns a private Workspace (reset at the start of
+// each LossAndBackward), so a warmed head allocates nothing per step.
 type VocabHead struct {
 	lin *Linear
+	ws  *Workspace
+	row Mat // reusable 1×Dim view for PredictTop
 }
 
 // NewVocabHead registers a Dim→vocab projection.
 func NewVocabHead(ps *Params, name string, dim, vocab int, rng *rand.Rand) *VocabHead {
-	return &VocabHead{lin: NewLinear(ps, name, dim, vocab, rng)}
+	return &VocabHead{lin: NewLinear(ps, name, dim, vocab, rng), ws: NewWorkspace()}
 }
 
 // LossAndBackward computes the mean cross-entropy of predicting targets[i] at
 // hidden row positions[i], accumulates the head's parameter gradients, and
 // returns the loss together with dLoss/dHidden (zero outside the scored
-// rows). Positions and targets must have equal length ≥ 1.
+// rows). Positions and targets must have equal length ≥ 1. The returned
+// matrix is scratch of this head's workspace: valid until its next call.
 func (h *VocabHead) LossAndBackward(hidden *Mat, positions, targets []int) (float64, *Mat) {
+	h.ws.Reset()
 	n := len(positions)
-	rows := NewMat(n, hidden.Cols)
+	rows := h.ws.Get(n, hidden.Cols)
 	for i, pos := range positions {
 		copy(rows.Row(i), hidden.Row(pos))
 	}
-	logits := h.lin.Forward(rows)
+	logits := h.lin.Forward(h.ws, rows)
 	loss := 0.0
-	dLogits := NewMat(logits.Rows, logits.Cols)
+	dLogits := h.ws.Get(logits.Rows, logits.Cols)
 	for i := 0; i < n; i++ {
 		row := logits.Row(i)
 		max := math.Inf(-1)
@@ -55,8 +60,8 @@ func (h *VocabHead) LossAndBackward(hidden *Mat, positions, targets []int) (floa
 			drow[j] = p * inv
 		}
 	}
-	dRows := h.lin.Backward(dLogits)
-	dHidden := NewMat(hidden.Rows, hidden.Cols)
+	dRows := h.lin.Backward(h.ws, dLogits)
+	dHidden := h.ws.Get(hidden.Rows, hidden.Cols)
 	for i, pos := range positions {
 		copy(dHidden.Row(pos), dRows.Row(i))
 	}
@@ -66,8 +71,9 @@ func (h *VocabHead) LossAndBackward(hidden *Mat, positions, targets []int) (floa
 // PredictTop returns the argmax vocabulary ID at one hidden row; useful for
 // inspecting what the MLM head has learned.
 func (h *VocabHead) PredictTop(hidden *Mat, position int) int {
-	row := &Mat{Rows: 1, Cols: hidden.Cols, Data: hidden.Row(position)}
-	logits := h.lin.Forward(row)
+	h.ws.Reset()
+	h.row = Mat{Rows: 1, Cols: hidden.Cols, Data: hidden.Row(position)}
+	logits := h.lin.Forward(h.ws, &h.row)
 	best, bestV := 0, math.Inf(-1)
 	for j, v := range logits.Row(0) {
 		if v > bestV {

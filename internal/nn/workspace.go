@@ -1,0 +1,60 @@
+package nn
+
+// Workspace is a per-replica scratch arena for forward/backward activations
+// and gradients. It hands out matrices keyed by shape and recycles them in
+// bulk at step boundaries, so a warmed-up encoder step (one Forward plus one
+// Backward over a previously seen sequence length) performs zero heap
+// allocations.
+//
+// Ownership contract: a Workspace belongs to exactly one network replica (an
+// Encoder plus its heads each own one) and is NOT safe for concurrent use —
+// concurrency comes from giving every worker its own replica via
+// Params.CloneForWorker, which re-runs the constructors and therefore builds
+// fresh arenas per worker. Matrices returned by Get stay valid until the next
+// Reset; layers may freely cache them between Forward and Backward because
+// Reset is only called when a new step begins.
+type Workspace struct {
+	free  map[[2]int][]*Mat // recycled matrices by (rows, cols)
+	taken []*Mat            // matrices handed out since the last Reset
+}
+
+// NewWorkspace returns an empty arena.
+func NewWorkspace() *Workspace {
+	return &Workspace{free: make(map[[2]int][]*Mat)}
+}
+
+// Get returns a rows×cols matrix with all elements zero, valid until the next
+// Reset. Zeroing (rather than returning dirty storage) keeps pooled matrices
+// bit-identical to freshly allocated ones, so accumulation kernels behave the
+// same either way.
+func (ws *Workspace) Get(rows, cols int) *Mat {
+	key := [2]int{rows, cols}
+	if list := ws.free[key]; len(list) > 0 {
+		m := list[len(list)-1]
+		ws.free[key] = list[:len(list)-1]
+		clear(m.Data)
+		ws.taken = append(ws.taken, m)
+		return m
+	}
+	m := NewMat(rows, cols)
+	ws.taken = append(ws.taken, m)
+	return m
+}
+
+// Floats returns a zeroed length-n scratch slice with the same lifetime as
+// Get results. It is backed by the matrix pool (shape n×1), so warmed-up
+// callers allocate nothing.
+func (ws *Workspace) Floats(n int) []float64 {
+	return ws.Get(n, 1).Data
+}
+
+// Reset recycles every matrix handed out since the previous Reset. All of
+// them become invalid to the caller; the backing storage is reused by
+// subsequent Gets of the same shape.
+func (ws *Workspace) Reset() {
+	for _, m := range ws.taken {
+		key := [2]int{m.Rows, m.Cols}
+		ws.free[key] = append(ws.free[key], m)
+	}
+	ws.taken = ws.taken[:0]
+}

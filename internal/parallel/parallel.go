@@ -35,8 +35,20 @@ func Workers(requested int) int {
 // ForEach runs fn(i) for every i in [0, n) on at most workers goroutines.
 // Scheduling order is unspecified; fn must write only to state owned by index
 // i so the outcome is independent of the worker count. With one worker (or
-// n <= 1) the calls run inline on the caller's goroutine.
+// n <= 1) the calls run inline on the caller's goroutine, without the
+// worker-slot closure wrapper or pool machinery — on a single-core host every
+// hot loop in the repo takes this path, so it must cost no more than a plain
+// for loop.
 func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || Workers(workers) == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
 	ForEachWorker(workers, n, func(_, i int) { fn(i) })
 }
 

@@ -104,3 +104,47 @@ func TestMapReduceDeterministicSum(t *testing.T) {
 		}
 	}
 }
+
+// TestInlineFastPathAgreesWithPool pins the ForEach inline fast path (taken
+// when n == 1 or one worker resolves) to the pooled path: identical visit
+// sets, identical Map results, and bit-identical MapReduce sums. It also
+// checks the inline path really is inline: fn observes the caller's goroutine
+// state without synchronization (a plain, non-atomic counter is safe).
+func TestInlineFastPathAgreesWithPool(t *testing.T) {
+	const n = 257
+	mapFn := func(i int) float64 { return 1.0 / float64(3*i+1) }
+	reduce := func(a, v float64) float64 { return a + v }
+
+	// Inline path: workers == 1.
+	plainCount := 0 // non-atomic on purpose: inline execution must not race
+	ForEach(1, n, func(i int) { plainCount++ })
+	if plainCount != n {
+		t.Fatalf("inline ForEach made %d calls, want %d", plainCount, n)
+	}
+
+	inlineMap := Map(1, n, mapFn)
+	pooledMap := Map(4, n, mapFn)
+	for i := range inlineMap {
+		if inlineMap[i] != pooledMap[i] {
+			t.Fatalf("Map disagrees at %d: inline %v, pooled %v", i, inlineMap[i], pooledMap[i])
+		}
+	}
+
+	inlineSum := MapReduce(1, n, mapFn, 0.0, reduce)
+	pooledSum := MapReduce(4, n, mapFn, 0.0, reduce)
+	if inlineSum != pooledSum {
+		t.Fatalf("MapReduce disagrees: inline %v, pooled %v", inlineSum, pooledSum)
+	}
+
+	// n == 1 takes the inline path regardless of the requested worker count.
+	calls := 0
+	ForEach(8, 1, func(i int) {
+		if i != 0 {
+			t.Fatalf("n=1 visited index %d", i)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Fatalf("n=1 made %d calls", calls)
+	}
+}

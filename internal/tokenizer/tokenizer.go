@@ -234,17 +234,17 @@ type Packed struct {
 	Mask     []bool
 }
 
-// Pack assembles [CLS] seg0 [SEP] seg1 [SEP] ... [SEP], truncating the
-// longest segments first to fit maxLen, then padding to maxLen. Segment i
-// gets segment ID min(i, maxSegments-1).
-func (t *Tokenizer) Pack(maxLen, maxSegments int, segments ...[]string) Packed {
-	// Budget: CLS + one SEP per segment.
-	budget := maxLen - 1 - len(segments)
-	lens := make([]int, len(segments))
+// FitLengths trims per-segment token counts in place so a packed sequence of
+// numSegments segments fits maxLen: the budget is maxLen minus [CLS] and one
+// [SEP] per segment, and tokens are removed one at a time from the currently
+// longest segment. This is exactly Pack's truncation rule, exported so callers
+// that assemble sequences themselves (the prefix-reuse ranking path in
+// internal/core) stay bit-compatible with Pack. Returns lens.
+func FitLengths(maxLen int, lens []int) []int {
+	budget := maxLen - 1 - len(lens)
 	total := 0
-	for i, s := range segments {
-		lens[i] = len(s)
-		total += len(s)
+	for _, l := range lens {
+		total += l
 	}
 	for total > budget {
 		// Trim one token from the currently longest segment.
@@ -257,6 +257,18 @@ func (t *Tokenizer) Pack(maxLen, maxSegments int, segments ...[]string) Packed {
 		lens[longest]--
 		total--
 	}
+	return lens
+}
+
+// Pack assembles [CLS] seg0 [SEP] seg1 [SEP] ... [SEP], truncating the
+// longest segments first to fit maxLen, then padding to maxLen. Segment i
+// gets segment ID min(i, maxSegments-1).
+func (t *Tokenizer) Pack(maxLen, maxSegments int, segments ...[]string) Packed {
+	lens := make([]int, len(segments))
+	for i, s := range segments {
+		lens[i] = len(s)
+	}
+	FitLengths(maxLen, lens)
 	p := Packed{
 		Tokens:   make([]int, 0, maxLen),
 		Segments: make([]int, 0, maxLen),

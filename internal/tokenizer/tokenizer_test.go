@@ -166,3 +166,52 @@ func TestPackSegmentCap(t *testing.T) {
 		}
 	}
 }
+
+func TestFitLengthsMatchesPack(t *testing.T) {
+	tk := Build([][]string{{"a", "b", "c", "d", "e"}}, 50)
+	mk := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = "a"
+		}
+		return out
+	}
+	cases := []struct {
+		maxLen int
+		segs   []int
+	}{
+		{20, []int{3, 4, 5}},   // fits untrimmed
+		{12, []int{10, 2, 3}},  // trims the first (longest) segment
+		{10, []int{8, 8, 8}},   // trims all segments round-robin
+		{16, []int{0, 5, 20}},  // empty segment stays empty
+		{8, []int{30, 1}},      // two segments, heavy trim
+		{6, []int{4, 4, 4, 4}}, // budget barely above zero
+	}
+	for _, c := range cases {
+		segs := make([][]string, len(c.segs))
+		lens := make([]int, len(c.segs))
+		for i, n := range c.segs {
+			segs[i] = mk(n)
+			lens[i] = n
+		}
+		FitLengths(c.maxLen, lens)
+		total := 0
+		for _, l := range lens {
+			total += l
+		}
+		if want := c.maxLen - 1 - len(lens); total > want {
+			t.Fatalf("FitLengths(%d, %v): total %d exceeds budget %d", c.maxLen, c.segs, total, want)
+		}
+		// Pack's real-token count must equal CLS + trimmed tokens + SEPs.
+		p := tk.Pack(c.maxLen, 3, segs...)
+		real := 0
+		for _, m := range p.Mask {
+			if m {
+				real++
+			}
+		}
+		if real != 1+total+len(lens) {
+			t.Errorf("Pack(%d, %v): %d real tokens, FitLengths gives %v", c.maxLen, c.segs, real, lens)
+		}
+	}
+}

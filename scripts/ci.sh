@@ -24,6 +24,20 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrency packages) =="
-go test -race ./internal/parallel ./internal/dataset ./internal/core ./internal/experiments
+go test -race ./internal/parallel ./internal/dataset ./internal/nn ./internal/core ./internal/experiments
+
+echo "== allocation regression gate =="
+# TestEncoderStepZeroAllocs pins the warmed encoder step to 0 allocs/op. It
+# self-skips under the race detector, so run it without -race here and fail
+# unless it actually PASSed (a skip must not silently satisfy the gate).
+alloc_out=$(go test ./internal/nn -run '^TestEncoderStepZeroAllocs$' -v)
+echo "$alloc_out" | tail -n 3
+if ! echo "$alloc_out" | grep -q -- '--- PASS: TestEncoderStepZeroAllocs'; then
+    echo "TestEncoderStepZeroAllocs did not pass (skipped?)" >&2
+    exit 1
+fi
+
+echo "== nn benchmark smoke =="
+go test -run '^$' -bench . -benchtime=1x -benchmem ./internal/nn
 
 echo "CI PASSED"
