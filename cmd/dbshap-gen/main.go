@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -23,7 +24,17 @@ func main() {
 	dumpSQL := flag.Bool("sql", false, "dump the generated workload")
 	similarities := flag.Bool("similarities", true, "compute Table 2 split similarities")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building (0 = one per CPU); output is identical for every value")
+	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	rn := o.Start("dbshap-gen")
+	defer finish(rn)
+	rn.SetConfig("db", *kindFlag)
+	rn.SetConfig("queries", *queries)
+	rn.SetConfig("cases", *cases)
+	rn.SetConfig("seed", *seed)
+	rn.SetConfig("scale", *scale)
+	rn.SetConfig("workers", *workers)
 
 	kinds := []dataset.Kind{dataset.IMDB, dataset.Academic}
 	switch *kindFlag {
@@ -60,7 +71,7 @@ func main() {
 			st := c.Stats(sp.idx)
 			fmt.Printf("%-10s %-8s %10d %10d %12d\n", kind, sp.name, st.Queries, st.Results, st.Facts)
 		}
-		fmt.Printf("%-10s built in %v (%d database facts)\n", kind, elapsed.Round(time.Millisecond), c.DB.NumFacts())
+		rn.Log.Infof("%-10s built in %v (%d database facts)\n", kind, elapsed.Round(time.Millisecond), c.DB.NumFacts())
 
 		if *similarities {
 			sims := dataset.NewSimilarityCache(c)
@@ -96,5 +107,12 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+}
+
+// finish flushes the run manifest; a write failure is the only error path.
+func finish(rn *obs.Run) {
+	if err := rn.Finish(); err != nil {
+		log.Fatal(err)
 	}
 }

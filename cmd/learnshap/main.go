@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,7 +33,17 @@ func main() {
 	savePath := flag.String("save", "", "write the trained model to this file")
 	loadPath := flag.String("load", "", "load a trained model instead of training")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building and training (0 = one per CPU); results are identical for every value")
+	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	rn := o.Start("learnshap")
+	defer finish(rn)
+	rn.SetConfig("db", *kindFlag)
+	rn.SetConfig("model", *modelFlag)
+	rn.SetConfig("queries", *queries)
+	rn.SetConfig("cases", *cases)
+	rn.SetConfig("seed", *seed)
+	rn.SetConfig("workers", *workers)
 
 	kind := dataset.Academic
 	if *kindFlag == "imdb" {
@@ -43,7 +54,7 @@ func main() {
 	dc.NumQueries = *queries
 	dc.MaxCasesPerQuery = *cases
 	dc.Workers = *workers
-	fmt.Printf("Building %s corpus (%d queries)...\n", kind, *queries)
+	rn.Log.Infof("Building %s corpus (%d queries)...\n", kind, *queries)
 	corpus, err := dataset.Build(dc)
 	if err != nil {
 		log.Fatal(err)
@@ -79,9 +90,9 @@ func main() {
 		if closeErr != nil {
 			log.Fatal(closeErr)
 		}
-		fmt.Printf("Loaded %s from %s (%d weights)\n", model.Name(), *loadPath, model.NumWeights())
+		rn.Log.Infof("Loaded %s from %s (%d weights)\n", model.Name(), *loadPath, model.NumWeights())
 	} else {
-		fmt.Printf("Training %s...\n", cfg.Name)
+		rn.Log.Infof("Training %s...\n", cfg.Name)
 		start := time.Now()
 		var report *core.TrainReport
 		var err error
@@ -89,8 +100,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %d weights, best dev NDCG@10 %.3f, %v\n",
+		rn.Log.Infof("  %d weights, best dev NDCG@10 %.3f, %v\n",
 			report.NumWeights, report.BestDevNDCG, time.Since(start).Round(time.Second))
+		rn.SetQuality("best_dev_ndcg10", report.BestDevNDCG)
 	}
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
@@ -103,21 +115,30 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("Saved model to %s\n", *savePath)
+		rn.Log.Infof("Saved model to %s\n", *savePath)
 	}
 
+	evalDone := obs.Span("evaluate")
 	fmt.Printf("\n%-28s %8s %8s %8s %8s\n", "method", "NDCG@10", "p@1", "p@3", "p@5")
-	printEval(corpus, model)
+	rn.SetQuality("test_ndcg10", printEval(corpus, model))
 	for _, metric := range []string{"syntax", "witness", "rank"} {
 		printEval(corpus, baselines.NewNearestQueries(corpus, sims, metric, 3, nil))
 	}
+	evalDone()
 
 	if *explain >= 0 {
 		explainCase(corpus, model, *explain)
 	}
 }
 
-func printEval(c *dataset.Corpus, r core.Ranker) {
+// finish flushes the run manifest; a write failure is the only error path.
+func finish(rn *obs.Run) {
+	if err := rn.Finish(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printEval(c *dataset.Corpus, r core.Ranker) float64 {
 	var ndcg, p1, p3, p5 []float64
 	for _, qi := range c.Test {
 		for _, cs := range c.Queries[qi].Cases {
@@ -137,6 +158,7 @@ func printEval(c *dataset.Corpus, r core.Ranker) {
 	}
 	fmt.Printf("%-28s %8.3f %8.3f %8.3f %8.3f\n", r.Name(),
 		metrics.Mean(ndcg), metrics.Mean(p1), metrics.Mean(p3), metrics.Mean(p5))
+	return metrics.Mean(ndcg)
 }
 
 func explainCase(c *dataset.Corpus, m *core.Model, idx int) {

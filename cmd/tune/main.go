@@ -7,13 +7,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,7 +31,21 @@ func main() {
 	ppairs := flag.Int("ppairs", 300, "pre-training pairs per epoch")
 	seed := flag.Int64("seed", 11, "model seed")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building and training (0 = one per CPU); results are identical for every value")
+	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	rn := o.Start("tune")
+	defer finish(rn)
+	rn.SetConfig("db", *kindFlag)
+	rn.SetConfig("queries", *queries)
+	rn.SetConfig("cases", *cases)
+	rn.SetConfig("epochs", *epochs)
+	rn.SetConfig("samples", *samples)
+	rn.SetConfig("dim", *dim)
+	rn.SetConfig("layers", *layers)
+	rn.SetConfig("pretrain", *pretrain)
+	rn.SetConfig("seed", *seed)
+	rn.SetConfig("workers", *workers)
 
 	kind := dataset.Academic
 	if *kindFlag == "imdb" {
@@ -47,13 +61,13 @@ func main() {
 		log.Fatal(err)
 	}
 	sims := dataset.NewSimilarityCache(c)
-	fmt.Printf("corpus: %d queries, built in %v\n", len(c.Queries), time.Since(start).Round(time.Millisecond))
+	rn.Log.Infof("corpus: %d queries, built in %v\n", len(c.Queries), time.Since(start).Round(time.Millisecond))
 
 	evalCases := 0
 	for _, qi := range c.Test {
 		evalCases += len(c.Queries[qi].Cases)
 	}
-	fmt.Printf("test cases: %d\n", evalCases)
+	rn.Log.Infof("test cases: %d\n", evalCases)
 
 	for _, metric := range []string{"syntax", "witness", "rank"} {
 		nq := baselines.NewNearestQueries(c, sims, metric, 3, nil)
@@ -80,16 +94,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("trained %s (%d weights) in %v; dev NDCG per epoch: %v\n",
+	rn.Log.Infof("trained %s (%d weights) in %v; dev NDCG per epoch: %v\n",
 		cfg.Name, rep.NumWeights, time.Since(start).Round(time.Millisecond), fmtSlice(rep.FinetuneDevNDCG))
-	report(c, m, "model")
+	rn.SetQuality("best_dev_ndcg10", rep.BestDevNDCG)
+	rn.SetQuality("test_ndcg10", report(c, m, "model"))
 	reportTrain(c, m)
-	_ = os.Stdout
+}
+
+// finish flushes the run manifest; a write failure is the only error path.
+func finish(rn *obs.Run) {
+	if err := rn.Finish(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func reportTrain(c *dataset.Corpus, m *core.Model) {
 	var ndcg, p1 []float64
-	for _, qi := range c.Train[:8] {
+	n := len(c.Train)
+	if n > 8 {
+		n = 8
+	}
+	for _, qi := range c.Train[:n] {
 		for _, cs := range c.Queries[qi].Cases {
 			pred := m.RankCase(c, qi, cs)
 			ndcg = append(ndcg, metrics.NDCGAtK(pred, cs.Gold, 10))
@@ -107,7 +132,7 @@ func fmtSlice(xs []float64) []string {
 	return out
 }
 
-func report(c *dataset.Corpus, r core.Ranker, label string) {
+func report(c *dataset.Corpus, r core.Ranker, label string) float64 {
 	var ndcg, p1, p3, p5 []float64
 	for _, qi := range c.Test {
 		for _, cs := range c.Queries[qi].Cases {
@@ -127,4 +152,5 @@ func report(c *dataset.Corpus, r core.Ranker, label string) {
 	}
 	fmt.Printf("%-28s NDCG@10 %.3f  p@1 %.3f  p@3 %.3f  p@5 %.3f\n",
 		label+" ("+r.Name()+")", metrics.Mean(ndcg), metrics.Mean(p1), metrics.Mean(p3), metrics.Mean(p5))
+	return metrics.Mean(ndcg)
 }

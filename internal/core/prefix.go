@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/shapley"
 	"repro/internal/tokenizer"
@@ -42,14 +43,23 @@ type lineageScorer struct {
 	suf, sufSeg []int
 	mask        []bool
 	lens        []int
+
+	// Prefix-reuse effectiveness counters: facts scored through the shared
+	// prefix vs. facts that fell back to the reference path because
+	// truncation reached into the prefix. Resolved once per lineage; nil
+	// (no-op) without a live registry.
+	mHits, mFallbacks *obs.Counter
 }
 
 func newLineageScorer(m *Model, in Input) *lineageScorer {
+	reg := obs.Metrics()
 	s := &lineageScorer{
-		m:     m,
-		qToks: tokenizer.TokenizeSQL(in.SQL),
-		tToks: tokenizer.TokenizeValues(in.TupleValues),
-		lens:  make([]int, 3),
+		m:          m,
+		qToks:      tokenizer.TokenizeSQL(in.SQL),
+		tToks:      tokenizer.TokenizeValues(in.TupleValues),
+		lens:       make([]int, 3),
+		mHits:      reg.Counter("core.rank.prefix_hits"),
+		mFallbacks: reg.Counter("core.rank.prefix_fallbacks"),
 	}
 	s.qLen, s.tLen = len(s.qToks), len(s.tToks)
 	return s
@@ -84,8 +94,10 @@ func (s *lineageScorer) score(f *relation.Fact) float64 {
 	tokenizer.FitLengths(s.m.Cfg.MaxSeqLen, s.lens)
 	if s.lens[0] != s.qLen || s.lens[1] != s.tLen {
 		// Truncation reached into the shared prefix: take the reference path.
+		s.mFallbacks.Add(1)
 		return s.m.predictShapley(s.qToks, s.tToks, fToks)
 	}
+	s.mHits.Add(1)
 	if s.pc == nil {
 		s.buildPrefix()
 	}
@@ -113,6 +125,10 @@ func (s *lineageScorer) score(f *relation.Fact) float64 {
 // rankOn is the prefix-reuse implementation behind Model.RankOn.
 func (m *Model) rankOn(db *relation.Database, in Input) shapley.Values {
 	s := newLineageScorer(m, in)
+	if reg := obs.Metrics(); reg != nil {
+		reg.Counter("core.rank.lineages").Add(1)
+		reg.Counter("core.rank.facts").Add(int64(len(in.Lineage)))
+	}
 	out := make(shapley.Values, len(in.Lineage))
 	for _, id := range in.Lineage {
 		f := db.Fact(id)

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMain lets scripts/bench.sh attach a run manifest to benchmark
+// invocations: with REPRO_METRICS_OUT set (and optionally REPRO_TRACE), the
+// whole test-binary run records into a live registry and writes the manifest
+// on exit. Unset — every normal `go test` — this is a no-op.
+func TestMain(m *testing.M) {
+	run := obs.StartFromEnv("core-bench")
+	code := m.Run()
+	if run != nil {
+		if err := run.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}

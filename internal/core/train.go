@@ -2,12 +2,15 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/relation"
 	"repro/internal/shapley"
@@ -41,18 +44,25 @@ func Train(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg ModelConfig, tr
 		return nil, nil, fmt.Errorf("core: empty training split")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	done := obs.Span("core.train:" + cfg.Name)
+	defer done()
 	sub := &dataset.Corpus{Config: c.Config, DB: c.DB, Queries: c.Queries, Train: trainIdx, Dev: c.Dev, Test: c.Test}
+	vocabDone := obs.Span("vocabulary")
 	tok := buildVocabulary(sub, cfg)
+	vocabDone()
 	m := newModel(cfg, tok, rng)
 	m.trainDB = c.DB
 	report := &TrainReport{NumWeights: m.params.NumWeights()}
+	obs.Metrics().Gauge("core.model.num_weights").Set(float64(report.NumWeights))
 
 	if len(cfg.PretrainMetrics) > 0 && cfg.PretrainEpochs > 0 {
 		// Rank-based similarity is by far the most expensive metric; compute
 		// every pair the pre-training loop can touch up front, across workers,
 		// instead of lazily on the training critical path.
+		simsDone := obs.Span("sims.precompute")
 		idx := append(append([]int(nil), trainIdx...), c.Dev...)
 		sims.Precompute(cfg.Workers, idx, cfg.PretrainMetrics...)
+		simsDone()
 		if err := m.pretrain(c, sims, cfg, trainIdx, rng, report); err != nil {
 			return nil, nil, err
 		}
@@ -61,6 +71,87 @@ func Train(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg ModelConfig, tr
 		return nil, nil, err
 	}
 	return m, report, nil
+}
+
+// stageObs is the per-stage training instrumentation: per-epoch series for
+// the loss, dev-quality, gradient-norm, and throughput curves of the run
+// manifest. The zero value (metrics off) records nothing and costs only
+// nil checks; with a live registry the extra work is bounded per optimizer
+// step and never touches the model, the RNG, or any training arithmetic, so
+// instrumented runs stay bit-identical to no-op runs (the contract
+// TestInstrumentationParity pins).
+type stageObs struct {
+	loss, dev, gradNorm, rate *obs.Series
+	lossBuf                   []float64 // per-slot sample losses of one batch
+	epochLoss                 float64
+	gradSum                   float64
+	gradSteps                 int
+	epochStart                time.Time
+}
+
+// newStageObs resolves the series handles of one training stage ("pretrain"
+// or "finetune"); devName is the stage's dev-selection metric.
+func newStageObs(stage, devName string, batch int) *stageObs {
+	reg := obs.Metrics()
+	s := &stageObs{
+		loss:     reg.Series("core." + stage + ".loss"),
+		dev:      reg.Series("core." + stage + "." + devName),
+		gradNorm: reg.Series("core." + stage + ".grad_norm"),
+		rate:     reg.Series("core." + stage + ".examples_per_sec"),
+	}
+	if reg != nil {
+		s.lossBuf = make([]float64, batch)
+	}
+	return s
+}
+
+// enabled reports whether the stage records anything.
+func (s *stageObs) enabled() bool { return s.lossBuf != nil }
+
+// beginEpoch resets the per-epoch accumulators.
+func (s *stageObs) beginEpoch() {
+	if !s.enabled() {
+		return
+	}
+	s.epochLoss, s.gradSum, s.gradSteps = 0, 0, 0
+	s.epochStart = time.Now()
+}
+
+// observeStep folds one optimizer step into the epoch: the batch's sample
+// losses (already written into lossBuf slots) and the merged gradient norm.
+func (s *stageObs) observeStep(ps *nn.Params, batchLen int) {
+	if !s.enabled() {
+		return
+	}
+	for i := 0; i < batchLen; i++ {
+		s.epochLoss += s.lossBuf[i]
+	}
+	sumSq := 0.0
+	for _, p := range ps.All() {
+		for _, g := range p.G {
+			sumSq += g * g
+		}
+	}
+	s.gradSum += math.Sqrt(sumSq)
+	s.gradSteps++
+}
+
+// endEpoch appends the epoch's points: mean sample loss, dev metric, mean
+// per-step gradient norm, and examples per second.
+func (s *stageObs) endEpoch(devMetric float64, examples int) {
+	if !s.enabled() {
+		return
+	}
+	if examples > 0 {
+		s.loss.Append(s.epochLoss / float64(examples))
+	}
+	s.dev.Append(devMetric)
+	if s.gradSteps > 0 {
+		s.gradNorm.Append(s.gradSum / float64(s.gradSteps))
+	}
+	if sec := time.Since(s.epochStart).Seconds(); sec > 0 {
+		s.rate.Append(float64(examples) / sec)
+	}
 }
 
 // replicaSlots builds the per-sample gradient shards of a training run: one
@@ -115,12 +206,17 @@ type pretrainDraw struct {
 // Mini-batches are data-parallel over per-slot replicas.
 func (m *Model) pretrain(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg ModelConfig,
 	trainIdx []int, rng *rand.Rand, report *TrainReport) error {
+	stageDone := obs.Span("core.pretrain")
+	defer stageDone()
 	opt := nn.NewAdam(m.params, cfg.PretrainLR)
 	bs := batchSize(cfg, cfg.PretrainPairsPerEpoch)
 	reps := m.replicaSlots(min(bs, cfg.PretrainPairsPerEpoch))
+	so := newStageObs("pretrain", "dev_mse", bs)
 	best := -1.0
 	var bestSnap [][]float64
 	for epoch := 0; epoch < cfg.PretrainEpochs; epoch++ {
+		epochDone := obs.Span(fmt.Sprintf("epoch %d", epoch))
+		so.beginEpoch()
 		// Pre-draw the epoch's pairs and MLM masks serially from the main
 		// RNG, in the exact order the serial implementation consumed it.
 		draws := make([]pretrainDraw, cfg.PretrainPairsPerEpoch)
@@ -139,15 +235,21 @@ func (m *Model) pretrain(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg M
 			end := min(start+bs, len(draws))
 			batch := draws[start:end]
 			parallel.ForEach(cfg.Workers, len(batch), func(i int) {
-				reps[i].pretrainStep(c, sims, batch[i])
+				loss := reps[i].pretrainStep(c, sims, batch[i])
+				if so.lossBuf != nil {
+					so.lossBuf[i] = loss
+				}
 			})
 			for i := range batch {
 				m.params.AddGradsFrom(reps[i].params)
 			}
+			so.observeStep(m.params, len(batch))
 			opt.Step(len(batch))
 		}
 		mse := m.pretrainDevMSE(c, sims, cfg, trainIdx, rng, reps)
 		report.PretrainDevMSE = append(report.PretrainDevMSE, mse)
+		so.endEpoch(mse, len(draws))
+		epochDone()
 		if best < 0 || mse < best {
 			best = mse
 			bestSnap = m.params.Snapshot()
@@ -303,13 +405,18 @@ func (m *Model) finetune(c *dataset.Corpus, cfg ModelConfig, trainIdx []int, rng
 		negatives := m.sampleNegatives(c, trainIdx, cfg.NegativeSamplesPerEpoch*cfg.FinetuneEpochs, rng)
 		pool = append(pool, negatives...)
 	}
+	stageDone := obs.Span("core.finetune")
+	defer stageDone()
 	opt := nn.NewAdam(m.params, cfg.FinetuneLR)
 	steps := cfg.FinetuneSamplesPerEpoch
 	bs := batchSize(cfg, steps)
 	reps := m.replicaSlots(min(bs, steps))
+	so := newStageObs("finetune", "dev_ndcg10", bs)
 	best := -1.0
 	var bestSnap [][]float64
 	for epoch := 0; epoch < cfg.FinetuneEpochs; epoch++ {
+		epochDone := obs.Span(fmt.Sprintf("epoch %d", epoch))
+		so.beginEpoch()
 		// Shuffled passes over the pool (rather than i.i.d. draws) so every
 		// (q, t, f) sample is visited with equal frequency; the ranking task
 		// is about relative order within a case, which uneven sampling
@@ -326,15 +433,21 @@ func (m *Model) finetune(c *dataset.Corpus, cfg ModelConfig, trainIdx []int, rng
 			end := min(start+bs, steps)
 			batch := schedule[start:end]
 			parallel.ForEach(cfg.Workers, len(batch), func(i int) {
-				reps[i].finetuneStep(c, pool[batch[i]], cfg)
+				loss := reps[i].finetuneStep(c, pool[batch[i]], cfg)
+				if so.lossBuf != nil {
+					so.lossBuf[i] = loss
+				}
 			})
 			for i := range batch {
 				m.params.AddGradsFrom(reps[i].params)
 			}
+			so.observeStep(m.params, len(batch))
 			opt.Step(len(batch))
 		}
 		ndcg := m.devNDCG(c, cfg.Workers, reps)
 		report.FinetuneDevNDCG = append(report.FinetuneDevNDCG, ndcg)
+		so.endEpoch(ndcg, steps)
+		epochDone()
 		// >= so that ties keep the most-trained weights; dev sets can
 		// saturate NDCG early while test quality still improves.
 		if ndcg >= best {
@@ -350,8 +463,8 @@ func (m *Model) finetune(c *dataset.Corpus, cfg ModelConfig, trainIdx []int, rng
 }
 
 // finetuneStep accumulates the squared-loss gradient of one (q, t, f) sample
-// into the model's (or replica's) accumulators.
-func (m *Model) finetuneStep(c *dataset.Corpus, sm finetuneSample, cfg ModelConfig) {
+// into the model's (or replica's) accumulators, returning the sample loss.
+func (m *Model) finetuneStep(c *dataset.Corpus, sm finetuneSample, cfg ModelConfig) float64 {
 	q := c.Queries[sm.query]
 	cs := q.Cases[sm.caseI]
 	qToks := m.tokensForQuery(c, sm.query)
@@ -363,6 +476,7 @@ func (m *Model) finetuneStep(c *dataset.Corpus, sm finetuneSample, cfg ModelConf
 	diff := pred - sm.gold*cfg.TargetScale
 	g := m.shapHead.Backward(2*diff, hidden.Rows, hidden.Cols)
 	m.enc.Backward(g)
+	return diff * diff
 }
 
 // sampleNegatives draws (case, non-lineage fact) pairs with target 0.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/relation"
 	"repro/internal/shapley"
@@ -113,7 +114,10 @@ type Corpus struct {
 // dominant cost; exponential in lineage width) — with the per-query tuple
 // permutations drawn serially in between.
 func Build(cfg Config) (*Corpus, error) {
+	buildDone := obs.Span("dataset.build:" + cfg.Kind.String())
+	defer buildDone()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	genDone := obs.Span("generate")
 	var db *relation.Database
 	var templates []template
 	switch cfg.Kind {
@@ -127,12 +131,14 @@ func Build(cfg Config) (*Corpus, error) {
 		return nil, fmt.Errorf("dataset: unknown kind %d", cfg.Kind)
 	}
 	sqls, err := GenerateWorkload(db, templates, cfg.NumQueries, cfg.MaxResults, rng)
+	genDone()
 	if err != nil {
 		return nil, err
 	}
 	c := &Corpus{Config: cfg, DB: db}
 	c.Queries = make([]*QueryEntry, len(sqls))
 	// Phase 1 (parallel, RNG-free): parse and evaluate every query.
+	evalDone := obs.Span("evaluate")
 	err = parallel.ForEachErr(cfg.Workers, len(sqls), func(i int) error {
 		entry, err := evalEntry(db, i, sqls[i])
 		if err != nil {
@@ -141,6 +147,7 @@ func Build(cfg Config) (*Corpus, error) {
 		c.Queries[i] = entry
 		return nil
 	})
+	evalDone()
 	if err != nil {
 		return nil, err
 	}
@@ -151,10 +158,21 @@ func Build(cfg Config) (*Corpus, error) {
 		perms[i] = rng.Perm(len(entry.Result.Tuples))
 	}
 	// Phase 3 (parallel, RNG-free): exact Shapley labeling per query.
+	labelDone := obs.Span("shapley.label")
 	parallel.ForEach(cfg.Workers, len(c.Queries), func(i int) {
 		labelEntry(c.Queries[i], cfg, perms[i])
 	})
+	labelDone()
 	c.split(rng)
+	if reg := obs.Metrics(); reg != nil {
+		cases := 0
+		for _, q := range c.Queries {
+			cases += len(q.Cases)
+		}
+		reg.Gauge("dataset.corpus." + cfg.Kind.String() + ".queries").Set(float64(len(c.Queries)))
+		reg.Gauge("dataset.corpus." + cfg.Kind.String() + ".cases").Set(float64(cases))
+		reg.Gauge("dataset.corpus." + cfg.Kind.String() + ".facts").Set(float64(db.NumFacts()))
+	}
 	return c, nil
 }
 

@@ -2,7 +2,9 @@ package dataset
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/similarity"
 )
@@ -23,16 +25,26 @@ const simShards = 16
 type SimilarityCache struct {
 	c      *Corpus
 	shards [simShards]simShard
+
+	// mHits/mMisses mirror the per-shard intrinsic counters into the metrics
+	// registry installed at construction time, or are nil no-op handles.
+	mHits, mMisses *obs.Counter
 }
 
 type simShard struct {
 	mu      sync.RWMutex
 	metrics map[string]map[[2]int]float64
+
+	// Intrinsic (always-on) coverage counters behind Stats.
+	hits, misses atomic.Int64
 }
 
 // NewSimilarityCache returns an empty cache over the corpus.
 func NewSimilarityCache(c *Corpus) *SimilarityCache {
 	s := &SimilarityCache{c: c}
+	reg := obs.Metrics()
+	s.mHits = reg.Counter("dataset.simcache.hits")
+	s.mMisses = reg.Counter("dataset.simcache.misses")
 	for i := range s.shards {
 		s.shards[i].metrics = map[string]map[[2]int]float64{
 			"syntax":  make(map[[2]int]float64),
@@ -59,8 +71,12 @@ func (s *SimilarityCache) memo(metric string, k [2]int, compute func() float64) 
 	v, ok := sh.metrics[metric][k]
 	sh.mu.RUnlock()
 	if ok {
+		sh.hits.Add(1)
+		s.mHits.Add(1)
 		return v
 	}
+	sh.misses.Add(1)
+	s.mMisses.Add(1)
 	v = compute()
 	sh.mu.Lock()
 	sh.metrics[metric][k] = v
@@ -131,4 +147,53 @@ func (s *SimilarityCache) Precompute(workers int, idx []int, metrics ...string) 
 			s.ByMetric(metric)(pairs[p][0], pairs[p][1])
 		}
 	})
+	// Report precompute coverage once instead of finishing silently: a debug
+	// log line (so default command output stays byte-identical) plus registry
+	// gauges for the run manifest.
+	st := s.Stats()
+	obs.Debugf("dataset: similarity cache precomputed %d pairs x %d metrics: %d entries in %d shards, %d hits / %d misses\n",
+		len(pairs), len(metrics), st.Entries, st.Shards, st.Hits, st.Misses)
+	if reg := obs.Metrics(); reg != nil {
+		reg.Gauge("dataset.simcache.entries").Set(float64(st.Entries))
+		reg.Gauge("dataset.simcache.shards").Set(float64(st.Shards))
+	}
+}
+
+// CacheStats is the coverage report of a SimilarityCache: how many scores are
+// materialized, across how many lock shards, and the lookup hit/miss split
+// (a Precompute miss is the expected fill; a post-Precompute miss means the
+// training loop touched a pair outside the precomputed index set). PerShard
+// breaks the same numbers down by lock shard, exposing pair-hash skew.
+type CacheStats struct {
+	Entries  int           `json:"entries"`
+	Shards   int           `json:"shards"`
+	Hits     int64         `json:"hits"`
+	Misses   int64         `json:"misses"`
+	PerShard []ShardCounts `json:"per_shard,omitempty"`
+}
+
+// ShardCounts is the coverage of one lock shard.
+type ShardCounts struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+// Stats reports the cache's current coverage. Safe for concurrent use.
+func (s *SimilarityCache) Stats() CacheStats {
+	st := CacheStats{Shards: simShards, PerShard: make([]ShardCounts, simShards)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sc := ShardCounts{Hits: sh.hits.Load(), Misses: sh.misses.Load()}
+		sh.mu.RLock()
+		for _, m := range sh.metrics {
+			sc.Entries += len(m)
+		}
+		sh.mu.RUnlock()
+		st.PerShard[i] = sc
+		st.Entries += sc.Entries
+		st.Hits += sc.Hits
+		st.Misses += sc.Misses
+	}
+	return st
 }

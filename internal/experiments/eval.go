@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -95,6 +96,13 @@ func evaluateRanker(c *dataset.Corpus, r core.Ranker, split []int, maxCases, wor
 			InferenceMS: elapsed,
 		}
 	})
+	if reg := obs.Metrics(); reg != nil {
+		reg.Counter("experiments.eval.cases").Add(int64(len(refs)))
+		h := reg.Histogram("experiments.eval.inference_ms", obs.ExpBuckets(0.25, 2, 12))
+		for _, score := range res.PerCase {
+			h.Observe(score.InferenceMS)
+		}
+	}
 	for _, score := range res.PerCase {
 		res.NDCG10 += score.NDCG10
 		res.P1 += score.P1

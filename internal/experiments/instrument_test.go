@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTableOutputParityInstrumented renders Table 1 and Table 2 with
+// observability off and again with the full stack installed (registry, tracer,
+// debug logger writing elsewhere) and asserts the table bytes are identical.
+// Result tables print straight to their writer, never through the logger, so
+// enabling instrumentation must not perturb a single byte of them.
+func TestTableOutputParityInstrumented(t *testing.T) {
+	s := testSuite(t)
+	render := func() []byte {
+		var buf bytes.Buffer
+		s.Table1(&buf)
+		s.Table2(&buf)
+		return buf.Bytes()
+	}
+
+	plain := render()
+
+	var logBuf bytes.Buffer
+	run := obs.NewRun("parity-test", obs.NewRegistry(), obs.NewTracer(), obs.NewLogger(&logBuf, obs.LevelDebug))
+	obs.Install(run)
+	defer obs.Uninstall()
+	instr := render()
+
+	if !bytes.Equal(plain, instr) {
+		t.Fatalf("table output differs with instrumentation enabled:\n--- plain ---\n%s\n--- instrumented ---\n%s", plain, instr)
+	}
+}

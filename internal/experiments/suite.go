@@ -15,6 +15,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // Config scales the whole experiment suite.
@@ -100,6 +101,8 @@ type Suite struct {
 
 // NewSuite builds both corpora (the offline pipeline of Figure 6).
 func NewSuite(cfg Config) (*Suite, error) {
+	done := obs.Span("experiments.corpora")
+	defer done()
 	cfg.Base.Workers = cfg.Workers
 	cfg.Large.Workers = cfg.Workers
 	s := &Suite{Cfg: cfg, models: make(map[string]*core.Model), reports: make(map[string]*core.TrainReport)}
@@ -138,6 +141,8 @@ func (s *Suite) Model(kind dataset.Kind, cfg core.ModelConfig) (*core.Model, *co
 	if m, ok := s.models[key]; ok {
 		return m, s.reports[key], nil
 	}
+	done := obs.Span("experiments.train:" + key)
+	defer done()
 	c, sims := s.Corpus(kind)
 	m, report, err := core.Train(c, sims, cfg, nil)
 	if err != nil {

@@ -2,6 +2,8 @@ package nn
 
 import (
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Config sizes a transformer encoder. The paper's BERT-base/BERT-large map to
@@ -47,6 +49,12 @@ type Encoder struct {
 	ws     *Workspace
 
 	tokens, segments []int
+
+	// Metric handles, resolved once at construction against the registry
+	// installed at the time (nil handles — the no-op recorder — otherwise).
+	// Same-name handles share storage, so replicas aggregate into one metric
+	// and each increment stays a single atomic add: 0 bytes, O(1) per step.
+	mForward, mBackward, mTokens *obs.Counter
 }
 
 type encoderLayer struct {
@@ -71,6 +79,10 @@ func NewEncoder(cfg Config, ps *Params, rng *rand.Rand) *Encoder {
 		embLN:  NewLayerNorm(ps, "emb.ln", cfg.Dim),
 		ws:     NewWorkspace(),
 	}
+	reg := obs.Metrics()
+	e.mForward = reg.Counter("nn.encoder.forward_passes")
+	e.mBackward = reg.Counter("nn.encoder.backward_passes")
+	e.mTokens = reg.Counter("nn.encoder.tokens")
 	e.tokEmb.initNormal(rng, 0.02)
 	e.posEmb.initNormal(rng, 0.02)
 	e.segEmb.initNormal(rng, 0.02)
@@ -98,6 +110,8 @@ func (e *Encoder) Forward(tokens, segments []int, mask []bool) *Mat {
 	if len(tokens) > e.Cfg.MaxSeqLen {
 		panic("nn: sequence exceeds MaxSeqLen")
 	}
+	e.mForward.Add(1)
+	e.mTokens.Add(int64(len(tokens)))
 	e.ws.Reset()
 	e.tokens, e.segments = tokens, segments
 	x := e.embedRows(tokens, segments, 0)
@@ -176,6 +190,8 @@ func (e *Encoder) ForwardWithPrefix(pc *PrefixCache, sufTokens, sufSegments []in
 	if seq > e.Cfg.MaxSeqLen {
 		panic("nn: sequence exceeds MaxSeqLen")
 	}
+	e.mForward.Add(1)
+	e.mTokens.Add(int64(len(sufTokens))) // prefix rows are reused, not re-encoded
 	e.ws.Reset()
 	e.tokens, e.segments = nil, nil // poison Backward: inference only
 	d := e.Cfg.Dim
@@ -191,6 +207,7 @@ func (e *Encoder) ForwardWithPrefix(pc *PrefixCache, sufTokens, sufSegments []in
 
 // Backward accumulates gradients for the whole encoder from dL/dHidden.
 func (e *Encoder) Backward(grad *Mat) {
+	e.mBackward.Add(1)
 	for li := len(e.layers) - 1; li >= 0; li-- {
 		l := e.layers[li]
 		g := l.ln2.Backward(grad)

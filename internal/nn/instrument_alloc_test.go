@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEncoderStepZeroAllocsInstrumented is the instrumented sibling of
+// TestEncoderStepZeroAllocs: with a LIVE metrics registry installed, the
+// warmed forward+backward step must still allocate 0 bytes — handle
+// resolution happens once in NewEncoder and every per-step record is an
+// atomic add on a pre-resolved counter. This pins the package's "bounded O(1),
+// 0 bytes" promise for the enabled path, not just the no-op default.
+func TestEncoderStepZeroAllocsInstrumented(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	run := obs.NewRun("alloc-test", obs.NewRegistry(), nil, nil)
+	obs.Install(run)
+	defer obs.Uninstall()
+
+	rng := rand.New(rand.NewSource(20))
+	ps := &Params{}
+	// Built AFTER Install so the encoder resolves live counter handles.
+	enc := NewEncoder(Config{
+		VocabSize: 50, MaxSeqLen: 16, Dim: 16, Heads: 2, Layers: 2, FFNHidden: 32,
+	}, ps, rng)
+	head := NewRegressionHead(ps, "head", 16, rng)
+	tokens := []int{2, 5, 9, 11, 3, 0, 0}
+	segments := []int{0, 0, 1, 1, 1, 0, 0}
+	mask := []bool{true, true, true, true, true, false, false}
+
+	for i := 0; i < 2; i++ {
+		encoderStep(enc, head, tokens, segments, mask)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		encoderStep(enc, head, tokens, segments, mask)
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented encoder step allocates %v objects/op, want 0", allocs)
+	}
+	if run.Reg.Counter("nn.encoder.forward_passes").Value() == 0 {
+		t.Error("live registry recorded no forward passes")
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Level selects how much a Logger prints. Info is the default and matches the
+// commands' historical output byte-for-byte; Quiet drops progress lines;
+// Debug adds diagnostics (cache statistics, per-phase detail).
+type Level int32
+
+const (
+	LevelQuiet Level = iota
+	LevelInfo
+	LevelDebug
+)
+
+// Logger is a minimal leveled logger. Lines carry no prefix or timestamp so
+// that Info output is byte-identical to the fmt.Printf calls it replaced —
+// golden and parity expectations over command output keep holding. The nil
+// logger drops everything.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+}
+
+// NewLogger returns a logger writing lines at or below the given level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// Level reports the logger's level; LevelQuiet on the nil logger.
+func (l *Logger) Level() Level {
+	if l == nil {
+		return LevelQuiet
+	}
+	return l.level
+}
+
+// Infof prints a progress line (shown by default, hidden under -quiet).
+func (l *Logger) Infof(format string, args ...any) { l.printf(LevelInfo, format, args...) }
+
+// Debugf prints a diagnostic line (shown under -v only).
+func (l *Logger) Debugf(format string, args ...any) { l.printf(LevelDebug, format, args...) }
+
+func (l *Logger) printf(at Level, format string, args ...any) {
+	if l == nil || l.level < at {
+		return
+	}
+	l.mu.Lock()
+	fmt.Fprintf(l.w, format, args...)
+	l.mu.Unlock()
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// ManifestSchema identifies the manifest document layout. Bump on any
+// incompatible change; ValidateManifest and scripts/ci.sh pin it.
+const ManifestSchema = "learnshapley.run.v1"
+
+// BuildInfo captures how the binary was built. VCS fields come from the Go
+// toolchain's embedded build metadata and are empty when the build did not
+// happen inside a checkout (e.g. `go test` of a package archive).
+type BuildInfo struct {
+	GoVersion   string `json:"go_version"`
+	Main        string `json:"main,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// HostInfo captures the execution environment a run's timings depend on.
+type HostInfo struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Manifest is the structured record of one run: what ran, on what, with what
+// configuration, how long each phase took, what the metrics saw, and the
+// final quality numbers. One JSON document per run, written by Run.Finish.
+type Manifest struct {
+	Schema      string             `json:"schema"`
+	Command     string             `json:"command"`
+	Args        []string           `json:"args,omitempty"`
+	StartedUTC  string             `json:"started_utc"`
+	DurationSec float64            `json:"duration_sec"`
+	Build       BuildInfo          `json:"build"`
+	Host        HostInfo           `json:"host"`
+	Config      map[string]any     `json:"config,omitempty"`
+	Quality     map[string]float64 `json:"quality,omitempty"`
+	Metrics     *Snapshot          `json:"metrics,omitempty"`
+	Trace       *SpanNode          `json:"trace,omitempty"`
+}
+
+// collectBuildInfo reads the toolchain-embedded build metadata.
+func collectBuildInfo() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Main = info.Main.Path
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.VCSRevision = s.Value
+		case "vcs.time":
+			bi.VCSTime = s.Value
+		case "vcs.modified":
+			bi.VCSModified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+func collectHostInfo() HostInfo {
+	return HostInfo{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// ValidateManifest checks a manifest document against the schema contract
+// documented in DESIGN.md: well-formed JSON, required keys present, timings
+// positive, span tree durations non-negative. scripts/ci.sh runs an
+// end-to-end experiment and feeds the emitted file through this check.
+func ValidateManifest(data []byte) error {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("manifest is not valid JSON: %w", err)
+	}
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Command == "" {
+		return fmt.Errorf("manifest missing command")
+	}
+	if _, err := time.Parse(time.RFC3339, m.StartedUTC); err != nil {
+		return fmt.Errorf("manifest started_utc %q: %w", m.StartedUTC, err)
+	}
+	if m.DurationSec <= 0 {
+		return fmt.Errorf("manifest duration_sec %v, want > 0", m.DurationSec)
+	}
+	if m.Build.GoVersion == "" {
+		return fmt.Errorf("manifest missing build.go_version")
+	}
+	if m.Host.NumCPU < 1 || m.Host.GOMAXPROCS < 1 {
+		return fmt.Errorf("manifest host cpu counts invalid: %+v", m.Host)
+	}
+	if m.Metrics == nil {
+		return fmt.Errorf("manifest missing metrics snapshot")
+	}
+	if m.Metrics.Counters == nil || m.Metrics.Gauges == nil || m.Metrics.Histograms == nil || m.Metrics.Series == nil {
+		return fmt.Errorf("manifest metrics snapshot has nil sections")
+	}
+	for name, h := range m.Metrics.Histograms {
+		var total int64
+		for _, b := range h.Buckets {
+			if b.Count < 0 {
+				return fmt.Errorf("histogram %q bucket le=%s count %d < 0", name, b.UpperBound, b.Count)
+			}
+			total += b.Count
+		}
+		if total != h.Count {
+			return fmt.Errorf("histogram %q bucket counts sum to %d, want %d", name, total, h.Count)
+		}
+	}
+	if m.Trace != nil {
+		if err := validateSpan(m.Trace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateSpan(n *SpanNode) error {
+	if n.Name == "" {
+		return fmt.Errorf("trace span with empty name")
+	}
+	if n.DurationMS < 0 || n.StartMS < 0 {
+		return fmt.Errorf("trace span %q has negative timing (start %v, duration %v)", n.Name, n.StartMS, n.DurationMS)
+	}
+	for _, c := range n.Children {
+		if err := validateSpan(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestValidateManifestFile validates a manifest file against the schema
+// contract. scripts/ci.sh points REPRO_MANIFEST at the manifest emitted by its
+// tiny end-to-end run; without the variable the test exercises the same check
+// on a manifest this process writes itself, so the file-writing path
+// (Run.WriteManifest → Finish) is covered in plain `go test` runs too.
+func TestValidateManifestFile(t *testing.T) {
+	path := os.Getenv("REPRO_MANIFEST")
+	if path == "" {
+		path = filepath.Join(t.TempDir(), "run.json")
+		reg := NewRegistry()
+		reg.Counter("c").Add(1)
+		run := NewRun("self-test", reg, NewTracer(), nil)
+		done := run.Tracer.Span("phase")
+		done()
+		run.metricsOut = path
+		if err := run.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read manifest %s: %v", path, err)
+	}
+	if err := ValidateManifest(data); err != nil {
+		t.Fatalf("manifest %s invalid: %v", path, err)
+	}
+}

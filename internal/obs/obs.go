@@ -1,0 +1,312 @@
+// Package obs is the repo's dependency-free instrumentation layer: a
+// concurrency-safe metrics registry, span-based wall-time tracing, a leveled
+// logger, and a structured run manifest, shared by every command and library
+// package.
+//
+// The design constraint that shapes the whole package is the repo's
+// zero-allocation contract (DESIGN.md "Memory model & kernels"): a warmed
+// encoder forward+backward step performs 0 heap allocations, and
+// instrumentation must not break that. The package therefore has a true no-op
+// default: until a command installs a live *Run (obs.Install, normally via
+// Options.Start), every accessor returns nil, and every metric operation on a
+// nil handle — Counter.Add, Gauge.Set, Histogram.Observe, Series.Append — is
+// an inlined nil-check that touches no memory. With a live registry the hot
+// operations are single atomic updates on pre-resolved handles: bounded O(1)
+// work and 0 bytes per step.
+//
+// Usage pattern in library code:
+//
+//	reg := obs.Metrics()                       // nil when observability is off
+//	hits := reg.Counter("core.rank.prefix_hits") // nil handle when reg == nil
+//	...
+//	hits.Add(1)                                // no-op on the nil handle
+//
+// Handles should be resolved once per construction or per phase (never per
+// inner-loop iteration): Registry lookups take a mutex, handle operations do
+// not. Handles for the same name share storage, so replicas aggregate into
+// one metric.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// formatBound renders a bucket upper bound the way the manifest schema
+// documents it: shortest float64 round-trip form.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use, including on a nil receiver (the no-op recorder): a nil
+// registry hands out nil handles whose operations do nothing.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	series     map[string]*Series
+}
+
+// NewRegistry returns an empty live registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		series:     make(map[string]*Series),
+	}
+}
+
+// Counter returns the named monotonic counter, creating it on first use.
+// Returns the nil (no-op) handle on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge (a last-write-wins float64), creating it on
+// first use. Returns the nil (no-op) handle on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with the
+// given upper bounds on first use; the bounds of later calls under the same
+// name are ignored, so concurrent creators agree on one layout. Bounds must
+// be sorted ascending; observations above the last bound land in an implicit
+// overflow bucket. Returns the nil (no-op) handle on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Series returns the named append-only series (per-epoch curves and the
+// like), creating it on first use. Returns the nil (no-op) handle on a nil
+// registry.
+func (r *Registry) Series(name string) *Series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Counter is a monotonic int64 counter. The nil handle is the no-op recorder.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; no-op on the nil handle.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the counter; 0 on the nil handle.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float64. The nil handle is the no-op recorder.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the value; no-op on the nil handle.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the gauge; 0 on the nil handle.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets: counts[i] is the number
+// of observations ≤ bounds[i], counts[len(bounds)] the overflow. Observe is a
+// binary search plus two atomic adds and one atomic CAS loop — alloc-free.
+// The nil handle is the no-op recorder.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum of observed values
+}
+
+// Observe records one value; no-op on the nil handle.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations; 0 on the nil handle.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Series is an append-only float64 sequence for low-frequency curves (one
+// point per epoch, not per step). The nil handle is the no-op recorder.
+type Series struct {
+	mu   sync.Mutex
+	vals []float64
+}
+
+// Append adds one point; no-op on the nil handle.
+func (s *Series) Append(v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.vals = append(s.vals, v)
+	s.mu.Unlock()
+}
+
+// Values returns a copy of the series; nil on the nil handle.
+func (s *Series) Values() []float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.vals...)
+}
+
+// ExpBuckets returns n upper bounds start, start·factor, start·factor², ...
+// — the standard layout for latency and size histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// BucketSnapshot is one histogram bucket in a snapshot: the count of
+// observations at or below the upper bound. UpperBound is "+Inf" for the
+// overflow bucket (float64 infinities are not representable in JSON).
+type BucketSnapshot struct {
+	UpperBound string `json:"le"`
+	Count      int64  `json:"count"`
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Mean    float64          `json:"mean"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// Snapshot is a point-in-time export of a registry, the form embedded in run
+// manifests. Maps are always non-nil.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Series     map[string][]float64         `json:"series"`
+}
+
+// Snapshot exports the registry's current state. Safe on a nil registry: the
+// snapshot is then empty.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+		Series:     make(map[string][]float64),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Count: h.count.Load(),
+			Sum:   math.Float64frombits(h.sumBits.Load()),
+		}
+		if hs.Count > 0 {
+			hs.Mean = hs.Sum / float64(hs.Count)
+		}
+		for i := range h.counts {
+			ub := "+Inf"
+			if i < len(h.bounds) {
+				ub = formatBound(h.bounds[i])
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: ub, Count: h.counts[i].Load()})
+		}
+		snap.Histograms[name] = hs
+	}
+	for name, s := range r.series {
+		snap.Series[name] = s.Values()
+	}
+	return snap
+}

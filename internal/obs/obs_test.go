@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2})
+	s := r.Series("s")
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// All operations on nil handles must be safe no-ops.
+	c.Add(5)
+	g.Set(3)
+	h.Observe(1.5)
+	s.Append(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || s.Values() != nil {
+		t.Fatal("nil handles must read as empty")
+	}
+	snap := r.Snapshot()
+	if snap.Counters == nil || len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty with non-nil maps")
+	}
+}
+
+func TestRegistryHandlesShareStorage(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("same-name counters must share storage")
+	}
+	a.Add(2)
+	b.Add(3)
+	if a.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", a.Value())
+	}
+	g := r.Gauge("gg")
+	g.Set(1.5)
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want last write 2.5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	// First-creation-wins: different bounds under the same name are ignored.
+	if h2 := r.Histogram("lat", []float64{7}); h2 != h {
+		t.Fatal("same-name histograms must share storage")
+	}
+	snap := r.Snapshot()
+	hs, ok := snap.Histograms["lat"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Count != 5 {
+		t.Fatalf("count = %d, want 5", hs.Count)
+	}
+	if hs.Sum != 556.5 {
+		t.Fatalf("sum = %v, want 556.5", hs.Sum)
+	}
+	wantCounts := []int64{2, 1, 1, 1} // ≤1, ≤10, ≤100, +Inf
+	if len(hs.Buckets) != len(wantCounts) {
+		t.Fatalf("bucket count %d, want %d", len(hs.Buckets), len(wantCounts))
+	}
+	var total int64
+	for i, b := range hs.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d (le=%s) count %d, want %d", i, b.UpperBound, b.Count, wantCounts[i])
+		}
+		total += b.Count
+	}
+	if total != hs.Count {
+		t.Fatalf("buckets sum to %d, want %d", total, hs.Count)
+	}
+	if hs.Buckets[len(hs.Buckets)-1].UpperBound != "+Inf" {
+		t.Fatalf("overflow bucket bound %q, want +Inf", hs.Buckets[len(hs.Buckets)-1].UpperBound)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("h", ExpBuckets(1, 2, 8))
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+				h.Observe(float64(i % 300))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTracerNesting(t *testing.T) {
+	tr := NewTracer()
+	endA := tr.Span("a")
+	endB := tr.Span("b")
+	endB()
+	endA()
+	endC := tr.Span("c")
+	endC()
+	root := tr.Root()
+	if root.Name != "run" || len(root.Children) != 2 {
+		t.Fatalf("root %q with %d children, want run with 2", root.Name, len(root.Children))
+	}
+	a, c := root.Children[0], root.Children[1]
+	if a.Name != "a" || c.Name != "c" {
+		t.Fatalf("children %q, %q, want a, c", a.Name, c.Name)
+	}
+	if len(a.Children) != 1 || a.Children[0].Name != "b" {
+		t.Fatalf("span b must nest under a, got %+v", a.Children)
+	}
+	if root.DurationMS < a.DurationMS || a.DurationMS < a.Children[0].DurationMS {
+		t.Fatal("parent durations must cover their children")
+	}
+	var buf bytes.Buffer
+	tr.WriteTree(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("tree rendering has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[2], "    b") {
+		t.Fatalf("nested span must be indented two levels: %q", lines[2])
+	}
+}
+
+func TestNilTracerSpanIsNoOp(t *testing.T) {
+	var tr *Tracer
+	done := tr.Span("anything")
+	done()
+	if tr.Root() != nil {
+		t.Fatal("nil tracer must have nil root")
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, LevelInfo)
+	lg.Infof("progress %d\n", 1)
+	lg.Debugf("diagnostic\n")
+	if got := buf.String(); got != "progress 1\n" {
+		t.Fatalf("info-level output %q: Infof must pass through verbatim, Debugf must be dropped", got)
+	}
+	buf.Reset()
+	lg = NewLogger(&buf, LevelDebug)
+	lg.Infof("p\n")
+	lg.Debugf("d\n")
+	if buf.String() != "p\nd\n" {
+		t.Fatalf("debug-level output %q, want both lines", buf.String())
+	}
+	buf.Reset()
+	lg = NewLogger(&buf, LevelQuiet)
+	lg.Infof("p\n")
+	lg.Debugf("d\n")
+	if buf.String() != "" {
+		t.Fatalf("quiet-level output %q, want none", buf.String())
+	}
+	var nilLogger *Logger
+	nilLogger.Infof("x")
+	nilLogger.Debugf("x")
+}
+
+func TestInstallUninstall(t *testing.T) {
+	if Live() != nil {
+		t.Fatal("no run must be installed at test start")
+	}
+	if Metrics() != nil {
+		t.Fatal("Metrics must be nil without an installed run")
+	}
+	reg := NewRegistry()
+	run := NewRun("test", reg, NewTracer(), nil)
+	Install(run)
+	defer Uninstall()
+	if Metrics() != reg {
+		t.Fatal("Metrics must return the installed registry")
+	}
+	done := Span("phase")
+	done()
+	Uninstall()
+	if Metrics() != nil || Live() != nil {
+		t.Fatal("Uninstall must clear the global run")
+	}
+	root := run.Tracer.Root()
+	if len(root.Children) != 1 || root.Children[0].Name != "phase" {
+		t.Fatalf("global Span must record on the installed tracer, got %+v", root.Children)
+	}
+}
+
+func TestManifestRoundTripValidates(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(3)
+	reg.Gauge("g").Set(1.25)
+	reg.Histogram("h", ExpBuckets(1, 10, 4)).Observe(55)
+	reg.Series("s").Append(0.5)
+	run := NewRun("unit-test", reg, NewTracer(), nil)
+	done := run.Tracer.Span("phase")
+	done()
+	run.SetConfig("k", 7)
+	run.SetQuality("ndcg", 0.91)
+
+	data, err := json.Marshal(run.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateManifest(data); err != nil {
+		t.Fatalf("round-tripped manifest fails validation: %v", err)
+	}
+
+	// Targeted corruption must be caught.
+	corrupt := func(mutate func(m map[string]any)) error {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		bad, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ValidateManifest(bad)
+	}
+	if err := corrupt(func(m map[string]any) { m["schema"] = "other.v9" }); err == nil {
+		t.Error("wrong schema must fail validation")
+	}
+	if err := corrupt(func(m map[string]any) { delete(m, "metrics") }); err == nil {
+		t.Error("missing metrics must fail validation")
+	}
+	if err := corrupt(func(m map[string]any) { m["duration_sec"] = -1 }); err == nil {
+		t.Error("negative duration must fail validation")
+	}
+	if err := ValidateManifest([]byte("{nope")); err == nil {
+		t.Error("invalid JSON must fail validation")
+	}
+}

@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers; served only on -pprof
+	"os"
+)
+
+// servePprof serves the net/http/pprof handlers on addr in the background.
+// Opt-in via the -pprof flag: nothing listens otherwise (the blank import
+// above only registers handlers on the default mux, it opens no socket).
+func servePprof(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: pprof server on %s: %v\n", addr, err)
+		}
+	}()
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanNode is one node of the hierarchical wall-time breakdown of a run.
+// StartMS is the offset from the trace's start; DurationMS is 0 until the
+// span ends (and in a manifest written mid-span).
+type SpanNode struct {
+	Name       string      `json:"name"`
+	StartMS    float64     `json:"start_ms"`
+	DurationMS float64     `json:"duration_ms"`
+	Children   []*SpanNode `json:"children,omitempty"`
+
+	start time.Time
+}
+
+// Tracer collects well-nested spans into a tree. Spans must be begun and
+// ended in stack order on one logical thread of execution — the repo traces
+// phases (corpus build, labeling, training epochs, evaluation), all of which
+// run on the goroutine driving the pipeline, with only leaf work fanned out
+// to the parallel pool. A mutex makes the bookkeeping itself race-free so a
+// stray concurrent span corrupts at worst the tree shape, never memory.
+//
+// The nil tracer is the no-op recorder: Span returns a shared empty closer.
+type Tracer struct {
+	mu      sync.Mutex
+	started time.Time
+	root    SpanNode
+	cur     *SpanNode
+}
+
+// NewTracer returns a live tracer whose root span starts now.
+func NewTracer() *Tracer {
+	t := &Tracer{started: time.Now()}
+	t.root.Name = "run"
+	t.root.start = t.started
+	t.cur = &t.root
+	return t
+}
+
+// spanNoop is the shared closer handed out by no-op Span calls; a package
+// variable so disabled spans allocate nothing.
+var spanNoop = func() {}
+
+// Span begins a span and returns its closer. Safe on a nil tracer (no-op).
+//
+//	defer tr.Span("pretrain")()
+func (t *Tracer) Span(name string) func() {
+	if t == nil {
+		return spanNoop
+	}
+	t.mu.Lock()
+	parent := t.cur
+	n := &SpanNode{Name: name, start: time.Now()}
+	n.StartMS = ms(n.start.Sub(t.started))
+	parent.Children = append(parent.Children, n)
+	t.cur = n
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		n.DurationMS = ms(time.Since(n.start))
+		if t.cur == n {
+			t.cur = parent
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Root closes the implicit root span and returns the trace tree. The tree is
+// shared with the tracer; callers finish tracing before reading it.
+func (t *Tracer) Root() *SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.root.DurationMS = ms(time.Since(t.started))
+	return &t.root
+}
+
+// WriteTree renders the hierarchical wall-time breakdown, two spaces per
+// nesting level, durations in milliseconds.
+func (t *Tracer) WriteTree(w io.Writer) {
+	root := t.Root()
+	if root == nil {
+		return
+	}
+	writeSpan(w, root, 0)
+}
+
+func writeSpan(w io.Writer, n *SpanNode, depth int) {
+	fmt.Fprintf(w, "%*s%-*s %10.1fms\n", 2*depth, "", 40-2*depth, n.Name, n.DurationMS)
+	for _, c := range n.Children {
+		writeSpan(w, c, depth+1)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

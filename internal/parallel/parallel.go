@@ -20,6 +20,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Workers resolves a requested worker count: values <= 0 select one worker
@@ -44,6 +47,10 @@ func ForEach(workers, n int, fn func(i int)) {
 		return
 	}
 	if n == 1 || Workers(workers) == 1 {
+		if reg := obs.Metrics(); reg != nil {
+			reg.Counter("parallel.inline.calls").Add(1)
+			reg.Counter("parallel.inline.items").Add(int64(n))
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -70,22 +77,59 @@ func ForEachWorker(workers, n int, fn func(w, i int)) {
 		}
 		return
 	}
+	// With a live metrics registry, wrap the pooled run in utilization
+	// accounting: per-worker busy time is accumulated in a slot-owned cell
+	// (no cross-worker state, preserving the determinism contract) and folded
+	// after the barrier. The registry check costs one atomic load; everything
+	// time-related is skipped entirely in the default no-op configuration.
+	reg := obs.Metrics()
+	var busy []time.Duration
+	var start time.Time
+	if reg != nil {
+		reg.Counter("parallel.pool.calls").Add(1)
+		reg.Counter("parallel.pool.items").Add(int64(n))
+		busy = make([]time.Duration, workers)
+		start = time.Now()
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			var wt0 time.Time
+			if busy != nil {
+				wt0 = time.Now()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					break
 				}
 				fn(w, i)
+			}
+			if busy != nil {
+				busy[w] = time.Since(wt0)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if reg != nil {
+		wall := time.Since(start)
+		var total time.Duration
+		for _, b := range busy {
+			total += b
+		}
+		reg.Counter("parallel.pool.wall_us").Add(wall.Microseconds())
+		reg.Counter("parallel.pool.busy_us").Add(total.Microseconds())
+		if wall > 0 {
+			// Fraction of worker-seconds spent inside fn vs. the pooled span:
+			// 1.0 means every worker was busy from spawn to barrier; the gap is
+			// queue wait (spawn latency, tail imbalance on the atomic queue).
+			util := float64(total) / (float64(wall) * float64(workers))
+			reg.Histogram("parallel.pool.utilization", []float64{0.25, 0.5, 0.75, 0.9, 0.95, 0.99}).Observe(util)
+		}
+	}
 }
 
 // ForEachErr is ForEach for fallible work. All n calls run regardless of

@@ -2,7 +2,9 @@ package shapley
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/relation"
 )
@@ -41,16 +43,31 @@ type Stats struct {
 // quantities stay normalized, which keeps the computation stable in float64
 // for lineages far larger than the paper's maximum.
 func Exact(d *provenance.DNF) (Values, *Stats, error) {
+	reg := obs.Metrics()
+	var t0 time.Time
+	if reg != nil {
+		t0 = time.Now()
+	}
 	c, err := Compile(d)
 	if err != nil {
 		return nil, nil, err
 	}
 	vals := c.ShapleyAll()
-	return vals, &Stats{
+	st := &Stats{
 		LineageSize:  len(c.order),
 		CircuitNodes: len(c.nodes),
 		Monomials:    len(d.Monomials),
-	}, nil
+	}
+	if reg != nil {
+		reg.Counter("shapley.exact.calls").Add(1)
+		reg.Histogram("shapley.exact.lineage_size", obs.ExpBuckets(1, 2, 10)).Observe(float64(st.LineageSize))
+		reg.Histogram("shapley.exact.circuit_nodes", obs.ExpBuckets(4, 4, 10)).Observe(float64(st.CircuitNodes))
+		if st.LineageSize > 0 {
+			perFact := float64(time.Since(t0).Microseconds()) / float64(st.LineageSize)
+			reg.Histogram("shapley.exact.us_per_fact", obs.ExpBuckets(1, 4, 12)).Observe(perFact)
+		}
+	}
+	return vals, st, nil
 }
 
 // Circuit is the compiled quasi-reduced ordered decision diagram.

@@ -46,8 +46,12 @@ echo "-- BenchmarkRankLineageFull (reference: padded per-fact passes)"
 full_ns=$(bench_ns ./internal/core BenchmarkRankLineageFull 5x)
 echo "   ${full_ns} ns/op"
 echo "-- BenchmarkRankLineagePrefix (RankOn: shared prefix, trimmed sequences)"
-prefix_ns=$(bench_ns ./internal/core BenchmarkRankLineagePrefix 5x)
+# The optimized run also records a run manifest (metrics + span timings) next
+# to the BENCH file, via the TestMain/obs.StartFromEnv hook in internal/core.
+prefix_ns=$(REPRO_METRICS_OUT="$PWD/BENCH_kernels.manifest.json" REPRO_TRACE=1 \
+    bench_ns ./internal/core BenchmarkRankLineagePrefix 5x)
 echo "   ${prefix_ns} ns/op"
+echo "   wrote BENCH_kernels.manifest.json"
 speedup=$(awk -v a="$full_ns" -v b="$prefix_ns" 'BEGIN { printf "%.2f", a/b }')
 echo "   speedup ${speedup}x"
 
@@ -113,8 +117,18 @@ for bench in $BENCHES; do
     ns1=$(run_bench 1 "$bench")
     echo "   ${ns1} ns/op"
     echo "-- $bench (workers=$N)"
-    nsN=$(run_bench "$N" "$bench")
+    # The workers=N Table 3 run also records a run manifest (pool utilization,
+    # cache hit rates, span timings) next to the BENCH file, via the
+    # TestMain/obs.StartFromEnv hook in the root bench package.
+    manifest=""
+    if [ "$bench" = "BenchmarkTable3MainResults" ]; then
+        manifest="$PWD/BENCH_parallel.manifest.json"
+    fi
+    nsN=$(REPRO_METRICS_OUT="$manifest" REPRO_TRACE="${manifest:+1}" run_bench "$N" "$bench")
     echo "   ${nsN} ns/op"
+    if [ -n "$manifest" ]; then
+        echo "   wrote BENCH_parallel.manifest.json"
+    fi
     wspeedup=$(awk -v a="$ns1" -v b="$nsN" 'BEGIN { printf "%.2f", a/b }')
     echo "   speedup ${wspeedup}x"
     rows="$rows    {\"name\": \"$bench\", \"ns_per_op_workers_1\": $ns1, \"ns_per_op_workers_n\": $nsN, \"speedup\": $wspeedup},\n"

@@ -24,7 +24,7 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrency packages) =="
-go test -race ./internal/parallel ./internal/dataset ./internal/nn ./internal/core ./internal/experiments
+go test -race ./internal/obs ./internal/parallel ./internal/dataset ./internal/nn ./internal/core ./internal/experiments
 
 echo "== allocation regression gate =="
 # TestEncoderStepZeroAllocs pins the warmed encoder step to 0 allocs/op. It
@@ -36,6 +36,26 @@ if ! echo "$alloc_out" | grep -q -- '--- PASS: TestEncoderStepZeroAllocs'; then
     echo "TestEncoderStepZeroAllocs did not pass (skipped?)" >&2
     exit 1
 fi
+# The instrumented sibling pins the same 0 allocs/op with a LIVE metrics
+# registry installed, so observability can never silently reintroduce
+# per-step allocations.
+alloc_out=$(go test ./internal/nn -run '^TestEncoderStepZeroAllocsInstrumented$' -v)
+echo "$alloc_out" | tail -n 3
+if ! echo "$alloc_out" | grep -q -- '--- PASS: TestEncoderStepZeroAllocsInstrumented'; then
+    echo "TestEncoderStepZeroAllocsInstrumented did not pass (skipped?)" >&2
+    exit 1
+fi
+
+echo "== end-to-end run manifest =="
+# Tiny full pipeline (corpus -> train -> eval) with the observability stack on:
+# -workers 2 forces the instrumented pool branch even on one core, -metrics-out
+# emits the run manifest, and the schema check validates what was written.
+manifest_dir=$(mktemp -d)
+trap 'rm -rf "$manifest_dir"' EXIT
+go run ./cmd/tune -queries 16 -cases 2 -epochs 1 -samples 40 -pretrain=false \
+    -dim 8 -layers 1 -workers 2 -metrics-out "$manifest_dir/run.json" -trace -quiet 2>/dev/null
+REPRO_MANIFEST="$manifest_dir/run.json" \
+    go test ./internal/obs -run '^TestValidateManifestFile$' -v | tail -n 3
 
 echo "== nn benchmark smoke =="
 go test -run '^$' -bench . -benchtime=1x -benchmem ./internal/nn

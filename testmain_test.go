@@ -1,0 +1,28 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMain lets scripts/bench.sh attach a run manifest to the suite-scale
+// benchmarks: with REPRO_METRICS_OUT set (and optionally REPRO_TRACE), the
+// whole test-binary run records into a live registry — similarity-cache and
+// prefix-cache hit rates, pool utilization, per-epoch curves — and writes the
+// manifest on exit. Unset — every normal `go test` — this is a no-op.
+func TestMain(m *testing.M) {
+	run := obs.StartFromEnv("repro-bench")
+	code := m.Run()
+	if run != nil {
+		if err := run.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
