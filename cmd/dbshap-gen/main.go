@@ -24,6 +24,7 @@ func main() {
 	dumpSQL := flag.Bool("sql", false, "dump the generated workload")
 	similarities := flag.Bool("similarities", true, "compute Table 2 split similarities")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building (0 = one per CPU); output is identical for every value")
+	rankBatch := flag.Int("rank-batch", 0, "accepted for CLI uniformity with the ranking commands; corpus generation performs no ranking, so the value is only recorded in the run manifest")
 	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 	rn.SetConfig("seed", *seed)
 	rn.SetConfig("scale", *scale)
 	rn.SetConfig("workers", *workers)
+	rn.SetConfig("rank_batch", *rankBatch)
 
 	kinds := []dataset.Kind{dataset.IMDB, dataset.Academic}
 	switch *kindFlag {

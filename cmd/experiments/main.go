@@ -23,6 +23,7 @@ func main() {
 	benchScale := flag.Bool("bench", false, "use the (smaller) bench-scale configuration")
 	only := flag.String("only", "", "comma-separated artifact list (e.g. table1,figure9); empty = all")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building, training and evaluation (0 = one per CPU); results are identical for every value")
+	rankBatch := flag.Int("rank-batch", 0, "pack up to this many lineage facts per batched encoder pass when ranking (0 or 1 = per-fact); results are identical for every value")
 	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 		// flag was given explicitly.
 		cfg.Workers = *workers
 	}
+	cfg.RankBatch = *rankBatch
 	// Start observability before NewSuite: hot-path metric handles resolve
 	// against the registry installed here.
 	rn := o.Start("experiments")
@@ -42,6 +44,7 @@ func main() {
 	rn.SetConfig("bench", *benchScale)
 	rn.SetConfig("only", *only)
 	rn.SetConfig("workers", cfg.Workers)
+	rn.SetConfig("rank_batch", cfg.RankBatch)
 	rn.SetConfig("queries_per_db", cfg.QueriesPerDB)
 	rn.SetConfig("scale", cfg.Scale.Base)
 

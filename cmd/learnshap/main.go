@@ -33,6 +33,7 @@ func main() {
 	savePath := flag.String("save", "", "write the trained model to this file")
 	loadPath := flag.String("load", "", "load a trained model instead of training")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building and training (0 = one per CPU); results are identical for every value")
+	rankBatch := flag.Int("rank-batch", 0, "pack up to this many lineage facts per batched encoder pass when ranking (0 or 1 = per-fact); scores are identical for every value")
 	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 	rn.SetConfig("cases", *cases)
 	rn.SetConfig("seed", *seed)
 	rn.SetConfig("workers", *workers)
+	rn.SetConfig("rank_batch", *rankBatch)
 
 	kind := dataset.Academic
 	if *kindFlag == "imdb" {
@@ -75,6 +77,7 @@ func main() {
 		log.Fatalf("unknown -model %q", *modelFlag)
 	}
 	cfg.Workers = *workers
+	cfg.RankBatch = *rankBatch
 
 	var model *core.Model
 	if *loadPath != "" {
@@ -90,6 +93,7 @@ func main() {
 		if closeErr != nil {
 			log.Fatal(closeErr)
 		}
+		model.Cfg.RankBatch = *rankBatch
 		rn.Log.Infof("Loaded %s from %s (%d weights)\n", model.Name(), *loadPath, model.NumWeights())
 	} else {
 		rn.Log.Infof("Training %s...\n", cfg.Name)

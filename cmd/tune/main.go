@@ -31,6 +31,7 @@ func main() {
 	ppairs := flag.Int("ppairs", 300, "pre-training pairs per epoch")
 	seed := flag.Int64("seed", 11, "model seed")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building and training (0 = one per CPU); results are identical for every value")
+	rankBatch := flag.Int("rank-batch", 0, "pack up to this many lineage facts per batched encoder pass when ranking (0 or 1 = per-fact); scores are identical for every value")
 	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	rn.SetConfig("pretrain", *pretrain)
 	rn.SetConfig("seed", *seed)
 	rn.SetConfig("workers", *workers)
+	rn.SetConfig("rank_batch", *rankBatch)
 
 	kind := dataset.Academic
 	if *kindFlag == "imdb" {
@@ -85,6 +87,7 @@ func main() {
 	cfg.PretrainEpochs = *pepochs
 	cfg.PretrainPairsPerEpoch = *ppairs
 	cfg.Workers = *workers
+	cfg.RankBatch = *rankBatch
 	if !*pretrain {
 		cfg.PretrainMetrics = nil
 		cfg.PretrainEpochs = 0

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/shapley"
+	"repro/internal/tokenizer"
+)
+
+// Batched ranking: with ModelConfig.RankBatch > 1, RankOn packs up to
+// RankBatch fast-path facts of a lineage into one nn.BatchedForwardWithPrefix
+// call, so every layer's Q/K/V/FFN projections run as a few large GEMMs over
+// the packed sequences instead of one small GEMM per fact. Facts that the
+// truncation rule excludes from prefix reuse take the same per-fact reference
+// path (Model.predictShapley) as the unbatched ranker — eligibility is decided
+// by lineageScorer.eligibleFactLen in both, so the two paths fall back on
+// exactly the same facts and bump the same hit/fallback counters.
+//
+// Scores are bit-identical to the per-fact path: the batched encoder pass is
+// bit-identical to per-sequence ForwardWithPrefix calls (see internal/nn) and
+// the head reads each sequence's [CLS] row via ForwardAt, which is the same
+// Dim floats the per-fact head read.
+
+// rankBatcher accumulates fast-path facts of one lineage and flushes them in
+// packed encoder passes. Slot buffers are reused across chunks.
+type rankBatcher struct {
+	s   *lineageScorer
+	out shapley.Values
+
+	ids      []relation.FactID
+	sufs     [][]int
+	sufSegs  [][]int
+	masks    [][]bool
+	trueMask []bool // shared all-true backing; masks[i] slices it
+	n        int
+}
+
+func newRankBatcher(s *lineageScorer, out shapley.Values) *rankBatcher {
+	b := &rankBatcher{s: s, out: out, trueMask: make([]bool, s.m.Cfg.MaxSeqLen)}
+	for i := range b.trueMask {
+		b.trueMask[i] = true
+	}
+	return b
+}
+
+// add queues one fast-path fact (fLen tokens survive truncation) and flushes
+// when the chunk is full. The caller has already built the prefix cache.
+func (b *rankBatcher) add(id relation.FactID, fToks []string, fLen int) {
+	if b.n == len(b.ids) {
+		b.ids = append(b.ids, 0)
+		b.sufs = append(b.sufs, nil)
+		b.sufSegs = append(b.sufSegs, nil)
+		b.masks = append(b.masks, nil)
+	}
+	b.ids[b.n] = id
+	suf, seg := b.sufs[b.n][:0], b.sufSegs[b.n][:0]
+	for _, tid := range b.s.m.tok.Encode(fToks[:fLen]) {
+		suf = append(suf, tid)
+		seg = append(seg, 2)
+	}
+	suf = append(suf, tokenizer.SepID)
+	seg = append(seg, 2)
+	b.sufs[b.n], b.sufSegs[b.n] = suf, seg
+	b.masks[b.n] = b.trueMask[:b.s.prefixLen+len(suf)]
+	b.n++
+	if b.n == b.s.m.Cfg.RankBatch {
+		b.flush()
+	}
+}
+
+// flush encodes the queued facts in one packed pass and records their scores.
+func (b *rankBatcher) flush() {
+	if b.n == 0 {
+		return
+	}
+	m := b.s.m
+	hidden, offs := m.enc.BatchedForwardWithPrefix(b.s.pc, b.sufs[:b.n], b.sufSegs[:b.n], b.masks[:b.n])
+	for i := 0; i < b.n; i++ {
+		b.out[b.ids[i]] = m.shapHead.ForwardAt(hidden, offs[i]) / m.Cfg.TargetScale
+	}
+	b.n = 0
+}
+
+// rankOnBatched is the batched implementation behind Model.RankOn when
+// Cfg.RankBatch > 1.
+func (m *Model) rankOnBatched(db *relation.Database, in Input) shapley.Values {
+	s := newLineageScorer(m, in)
+	if reg := obs.Metrics(); reg != nil {
+		reg.Counter("core.rank.lineages").Add(1)
+		reg.Counter("core.rank.facts").Add(int64(len(in.Lineage)))
+	}
+	out := make(shapley.Values, len(in.Lineage))
+	b := newRankBatcher(s, out)
+	for _, id := range in.Lineage {
+		f := db.Fact(id)
+		if f == nil {
+			out[id] = 0
+			continue
+		}
+		fToks := tokenizer.TokenizeFact(f)
+		fLen, ok := s.eligibleFactLen(fToks)
+		if !ok {
+			s.mFallbacks.Add(1)
+			// The reference pass resets the encoder workspace, but the queued
+			// chunk holds only token slices, so interleaving is safe.
+			out[id] = m.predictShapley(s.qToks, s.tToks, fToks)
+			continue
+		}
+		s.mHits.Add(1)
+		if s.pc == nil {
+			s.buildPrefix()
+		}
+		b.add(id, fToks, fLen)
+	}
+	b.flush()
+	return out
+}

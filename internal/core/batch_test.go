@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/shapley"
+)
+
+// assertValuesBitEqual compares two score maps bit for bit.
+func assertValuesBitEqual(t *testing.T, label string, got, want shapley.Values) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: scored %d facts, want %d", label, len(got), len(want))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: fact %v missing", label, id)
+		}
+		if math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("%s: fact %v: batched score %v != reference %v (bits %x vs %x)",
+				label, id, g, w, math.Float64bits(g), math.Float64bits(w))
+		}
+	}
+}
+
+// TestRankOnBatchedGolden is the golden bit-identity test for the batched
+// ranking path: RankOn with RankBatch > 1 must score every lineage fact
+// bit-for-bit identically to the per-fact prefix path, across chunk sizes
+// (spanning lineages smaller, equal to and larger than the chunk) and intra-op
+// worker counts.
+func TestRankOnBatchedGolden(t *testing.T) {
+	t.Cleanup(func() { nn.SetIntraOp(1, 0) })
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	tok := buildVocabulary(c, cfg)
+	m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+	defer func() { m.Cfg.RankBatch = 0 }()
+	ins := caseInputs(c)
+	if len(ins) == 0 {
+		t.Fatal("corpus has no labeled cases")
+	}
+	m.Cfg.RankBatch = 0
+	want := make([]shapley.Values, len(ins))
+	for i, in := range ins {
+		want[i] = m.RankOn(c.DB, in)
+	}
+	for _, workers := range []int{1, 2, 3} {
+		nn.SetIntraOp(workers, 8)
+		for _, batch := range []int{2, 3, 8, 64} {
+			m.Cfg.RankBatch = batch
+			for i, in := range ins {
+				assertValuesBitEqual(t, "batched", m.RankOn(c.DB, in), want[i])
+			}
+		}
+	}
+}
+
+// TestRankOnBatchedTruncated repeats the golden comparison with a sequence
+// budget small enough that truncation reaches the prefix for some facts: the
+// batched ranker must take the same per-fact fallback on exactly those facts
+// and still match the padded full-length reference bitwise.
+func TestRankOnBatchedTruncated(t *testing.T) {
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	cfg.MaxSeqLen = 16
+	cfg.RankBatch = 4
+	tok := buildVocabulary(c, cfg)
+	m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+
+	run := obs.NewRun("batch-trunc-test", obs.NewRegistry(), nil, nil)
+	obs.Install(run)
+	defer obs.Uninstall()
+	for _, in := range caseInputs(c) {
+		want := m.rankOnFull(c.DB, in)
+		assertValuesBitEqual(t, "truncated", m.RankOn(c.DB, in), want)
+	}
+	snap := run.Reg.Snapshot()
+	if snap.Counters["core.rank.prefix_fallbacks"] == 0 {
+		t.Error("no fact exercised the truncation fallback; lower MaxSeqLen")
+	}
+}
+
+// TestEligibilityExactBudgetEdges pins fast-path eligibility at the exact
+// sequence budget. eligibleFactLen is the single decision both the per-fact
+// and batched rankers route through, so these edges are exactly where both
+// paths flip from prefix reuse to the per-fact fallback: a fact that exactly
+// fills the budget (or overflows while being the longest segment, so only the
+// fact is trimmed) stays on the fast path; one token of overflow with the
+// query or tuple longest reaches into the prefix and forces the fallback.
+func TestEligibilityExactBudgetEdges(t *testing.T) {
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	tok := buildVocabulary(c, cfg)
+	m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+	budget := cfg.MaxSeqLen - 4 // CLS + three SEPs around (q, t, f)
+	cases := []struct {
+		name       string
+		qLen, tLen int
+		factLen    int
+		wantLen    int
+		wantOK     bool
+	}{
+		{"fact exactly fills", 6, 4, budget - 10, budget - 10, true},
+		{"fact overflows by one, fact longest", 6, 4, budget - 9, budget - 10, true},
+		{"query longest on overflow", budget - 14, 4, 11, 0, false},
+		{"tuple longest on overflow", 4, budget - 14, 11, 0, false},
+	}
+	for _, tc := range cases {
+		s := &lineageScorer{m: m, qLen: tc.qLen, tLen: tc.tLen, lens: make([]int, 3)}
+		fToks := make([]string, tc.factLen)
+		fLen, ok := s.eligibleFactLen(fToks)
+		if ok != tc.wantOK || (ok && fLen != tc.wantLen) {
+			t.Errorf("%s: eligibleFactLen(q=%d t=%d f=%d) = (%d, %v), want (%d, %v)",
+				tc.name, tc.qLen, tc.tLen, tc.factLen, fLen, ok, tc.wantLen, tc.wantOK)
+		}
+	}
+}
+
+// TestRankOnBatchedCounterAgreement ranks the same inputs through the
+// per-fact and batched paths under separate live registries and asserts the
+// prefix hit/fallback counters agree exactly: both paths classify every fact
+// through the same eligibility rule. It also pins the batched-pass metrics:
+// every fast-path fact flows through a packed pass, so nn.batch.sequences
+// equals the hit count.
+func TestRankOnBatchedCounterAgreement(t *testing.T) {
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	cfg.MaxSeqLen = 44 // tight enough that some facts fall back, some don't
+	tok := buildVocabulary(c, cfg)
+	ins := caseInputs(c)
+
+	rank := func(rankBatch int) obs.Snapshot {
+		run := obs.NewRun("batch-counter-test", obs.NewRegistry(), nil, nil)
+		obs.Install(run)
+		defer obs.Uninstall()
+		// Built under the live registry so the encoder's nn.batch.* handles
+		// are resolved against it.
+		cfg.RankBatch = rankBatch
+		m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+		for _, in := range ins {
+			m.RankOn(c.DB, in)
+		}
+		return run.Reg.Snapshot()
+	}
+
+	perFact := rank(0)
+	batched := rank(3)
+	for _, name := range []string{
+		"core.rank.lineages", "core.rank.facts",
+		"core.rank.prefix_hits", "core.rank.prefix_fallbacks",
+	} {
+		if perFact.Counters[name] != batched.Counters[name] {
+			t.Errorf("counter %s: per-fact %d vs batched %d",
+				name, perFact.Counters[name], batched.Counters[name])
+		}
+	}
+	hits := perFact.Counters["core.rank.prefix_hits"]
+	if hits == 0 || perFact.Counters["core.rank.prefix_fallbacks"] == 0 {
+		t.Fatalf("fixture must exercise both paths: hits=%d fallbacks=%d",
+			hits, perFact.Counters["core.rank.prefix_fallbacks"])
+	}
+	if perFact.Counters["nn.batch.passes"] != 0 {
+		t.Error("per-fact path must not take batched passes")
+	}
+	if got := batched.Counters["nn.batch.sequences"]; got != hits {
+		t.Errorf("nn.batch.sequences = %d, want every fast-path fact (%d)", got, hits)
+	}
+	if batched.Counters["nn.batch.passes"] == 0 {
+		t.Error("batched path recorded no packed passes")
+	}
+}

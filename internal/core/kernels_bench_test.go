@@ -2,10 +2,13 @@ package core
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/nn"
 )
 
 // Shared fixture for the end-to-end ranking benchmarks: an (untrained —
@@ -59,6 +62,34 @@ func BenchmarkRankLineageFull(b *testing.B) {
 // Bit-identical outputs (TestRankOnPrefixGolden).
 func BenchmarkRankLineagePrefix(b *testing.B) {
 	benchRankSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range benchRank.ins {
+			benchRank.m.RankOn(benchRank.c.DB, in)
+		}
+	}
+}
+
+// BenchmarkRankLineageBatched ranks the same cases through the packed batched
+// path (RankBatch chunks of 8), with intra-op GEMM parallelism taken from
+// REPRO_WORKERS (default 1 = serial). Bit-identical outputs
+// (TestRankOnBatchedGolden); compare against BenchmarkRankLineagePrefix for
+// the packing win.
+func BenchmarkRankLineageBatched(b *testing.B) {
+	benchRankSetup(b)
+	workers := 1
+	if v := os.Getenv("REPRO_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			workers = n
+		}
+	}
+	nn.SetIntraOp(workers, 0)
+	benchRank.m.Cfg.RankBatch = 8
+	defer func() {
+		nn.SetIntraOp(1, 0)
+		benchRank.m.Cfg.RankBatch = 0
+	}()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

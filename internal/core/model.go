@@ -66,6 +66,12 @@ type ModelConfig struct {
 	// in sample order, so trained weights are bit-identical for every worker
 	// count.
 	Workers int
+	// RankBatch > 1 scores lineage facts through the packed batched encoder
+	// path (nn.BatchedForwardWithPrefix) in chunks of up to RankBatch
+	// sequences, so each transformer layer's projections run as a few large
+	// GEMMs instead of one small GEMM per fact. 0 or 1 keeps the per-fact
+	// prefix-reuse path. Scores are bit-identical either way (see batch.go).
+	RankBatch int
 }
 
 // BaseConfig is LearnShapley-base at bench scale.
@@ -234,8 +240,13 @@ func (m *Model) Rank(in Input) shapley.Values {
 // the open generalization problem of Section 7; token overlap is then the
 // only transferable signal. The implementation encodes the shared
 // [CLS] q [SEP] t [SEP] prefix once per lineage and reuses it across facts
-// (see prefix.go); scores are bit-identical to independent per-fact passes.
+// (see prefix.go); with Cfg.RankBatch > 1 the facts are additionally packed
+// into batched encoder passes (see batch.go). Scores are bit-identical to
+// independent per-fact passes in every configuration.
 func (m *Model) RankOn(db *relation.Database, in Input) shapley.Values {
+	if m.Cfg.RankBatch > 1 {
+		return m.rankOnBatched(db, in)
+	}
 	return m.rankOn(db, in)
 }
 

@@ -87,13 +87,27 @@ func (s *lineageScorer) buildPrefix() {
 	s.prefixLen = n
 }
 
-// score predicts the (unscaled) Shapley value of one fact.
-func (s *lineageScorer) score(f *relation.Fact) float64 {
-	fToks := tokenizer.TokenizeFact(f)
+// eligibleFactLen decides whether a fact with the given tokens can take the
+// shared-prefix fast path and, if so, returns its (possibly trimmed) token
+// count. The single source of truth for fast-path eligibility: the per-fact
+// and batched rankers both route through it, so they fall back on exactly the
+// same facts.
+func (s *lineageScorer) eligibleFactLen(fToks []string) (int, bool) {
 	s.lens[0], s.lens[1], s.lens[2] = s.qLen, s.tLen, len(fToks)
 	tokenizer.FitLengths(s.m.Cfg.MaxSeqLen, s.lens)
 	if s.lens[0] != s.qLen || s.lens[1] != s.tLen {
-		// Truncation reached into the shared prefix: take the reference path.
+		// Truncation reached into the shared prefix: the prefix would differ
+		// for this fact, so reuse is unsound.
+		return 0, false
+	}
+	return s.lens[2], true
+}
+
+// score predicts the (unscaled) Shapley value of one fact.
+func (s *lineageScorer) score(f *relation.Fact) float64 {
+	fToks := tokenizer.TokenizeFact(f)
+	fLen, ok := s.eligibleFactLen(fToks)
+	if !ok {
 		s.mFallbacks.Add(1)
 		return s.m.predictShapley(s.qToks, s.tToks, fToks)
 	}
@@ -101,7 +115,6 @@ func (s *lineageScorer) score(f *relation.Fact) float64 {
 	if s.pc == nil {
 		s.buildPrefix()
 	}
-	fLen := s.lens[2]
 	s.suf = s.suf[:0]
 	s.sufSeg = s.sufSeg[:0]
 	for _, id := range s.m.tok.Encode(fToks[:fLen]) {

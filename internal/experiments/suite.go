@@ -36,6 +36,11 @@ type Config struct {
 	// value (see internal/parallel). NewSuite copies it into the dataset and
 	// model configs.
 	Workers int
+	// RankBatch > 1 routes evaluation-time ranking through the packed batched
+	// encoder path in chunks of up to RankBatch facts (see core.ModelConfig).
+	// Scores are bit-identical for every value. NewSuite copies it into the
+	// model configs; evaluation replicas inherit it via CloneForWorker.
+	RankBatch int
 }
 
 // BenchConfig is the scale used by `go test -bench`: minutes of CPU, every
@@ -105,6 +110,8 @@ func NewSuite(cfg Config) (*Suite, error) {
 	defer done()
 	cfg.Base.Workers = cfg.Workers
 	cfg.Large.Workers = cfg.Workers
+	cfg.Base.RankBatch = cfg.RankBatch
+	cfg.Large.RankBatch = cfg.RankBatch
 	s := &Suite{Cfg: cfg, models: make(map[string]*core.Model), reports: make(map[string]*core.TrainReport)}
 	for _, kind := range []dataset.Kind{dataset.IMDB, dataset.Academic} {
 		dc := dataset.DefaultConfig(kind)

@@ -1,0 +1,172 @@
+package nn
+
+import "math"
+
+// Batched inference: pack B sequences into one [ΣT×Dim] matrix so the
+// Q/K/V/FFN projections of every layer run as a handful of large GEMMs
+// instead of B small ones, while attention is applied per sequence on row
+// windows of the packed matrices — sequences never attend across each other,
+// which is exactly a block-diagonal attention mask without materializing it.
+//
+// Bit-identity with the per-sequence path is structural, not numerical luck:
+//   - every row-local layer (embeddings, LayerNorm, Linear's bias add, GELU,
+//     residual adds) computes each packed row exactly as it computes the same
+//     row alone;
+//   - the GEMM kernels accumulate each output row independently in k-order
+//     (see MatMulInto), so packing rows changes which rows share a matrix,
+//     never how any row is computed — and the row-partitioned Par variants
+//     preserve that per-row order for every intra-op worker count;
+//   - attention runs the exact per-sequence kernel (AttnScoresSoftmax plus
+//     the probs·V accumulation of the single-sequence path) on views of the
+//     packed Q/K/V, with each sequence's own mask.
+//
+// Like ForwardWithPrefix, the batched passes are inference-only: they poison
+// the encoder's Backward caches.
+
+// BatchedForward encodes B sequences in one packed pass. tokens, segments
+// and masks hold one per-sequence slice each (equal lengths per sequence,
+// every sequence ≤ MaxSeqLen; masks mark real positions). It returns the
+// packed hidden states [ΣT×Dim] and the per-sequence row offsets: sequence
+// b's hidden rows are offsets[b] through offsets[b]+len(tokens[b])-1, with
+// its [CLS] representation at row offsets[b]. Both return values are scratch
+// of the encoder, valid until its next forward pass. Hidden states are
+// bit-identical to B independent Forward calls.
+func (e *Encoder) BatchedForward(tokens, segments [][]int, masks [][]bool) (*Mat, []int) {
+	total := 0
+	e.batchOffs, e.batchLens = e.batchOffs[:0], e.batchLens[:0]
+	for b := range tokens {
+		if len(tokens[b]) > e.Cfg.MaxSeqLen {
+			panic("nn: sequence exceeds MaxSeqLen")
+		}
+		e.batchOffs = append(e.batchOffs, total)
+		e.batchLens = append(e.batchLens, len(tokens[b]))
+		total += len(tokens[b])
+	}
+	if total == 0 {
+		panic("nn: empty batch")
+	}
+	e.recordBatch(len(tokens), total)
+	e.ws.Reset()
+	e.tokens, e.segments = nil, nil // poison Backward: inference only
+	x := e.ws.Get(total, e.Cfg.Dim)
+	for b := range tokens {
+		e.embedRowsAt(x, e.batchOffs[b], tokens[b], segments[b], 0)
+	}
+	x = e.embLN.Forward(e.ws, x)
+	return e.encodeBatch(x, masks), e.batchOffs
+}
+
+// BatchedForwardWithPrefix encodes B sequences that share the embedded
+// prefix pc: sequence b is prefix + sufTokens[b], with the suffix occupying
+// absolute positions from pc.Len() and masks[b] covering the full sequence.
+// The cached prefix rows are copied into every sequence's window of the
+// packed matrix and only the suffixes are embedded (packed themselves, so
+// the embedding LayerNorm also runs once). Returns the packed hidden states
+// and per-sequence row offsets as BatchedForward does; hidden states are
+// bit-identical to B independent ForwardWithPrefix calls.
+func (e *Encoder) BatchedForwardWithPrefix(pc *PrefixCache, sufTokens, sufSegments [][]int, masks [][]bool) (*Mat, []int) {
+	p := pc.Len()
+	d := e.Cfg.Dim
+	total, sufTotal := 0, 0
+	e.batchOffs, e.batchLens = e.batchOffs[:0], e.batchLens[:0]
+	for b := range sufTokens {
+		seq := p + len(sufTokens[b])
+		if seq > e.Cfg.MaxSeqLen {
+			panic("nn: sequence exceeds MaxSeqLen")
+		}
+		e.batchOffs = append(e.batchOffs, total)
+		e.batchLens = append(e.batchLens, seq)
+		total += seq
+		sufTotal += len(sufTokens[b])
+	}
+	if total == 0 {
+		panic("nn: empty batch")
+	}
+	e.recordBatch(len(sufTokens), sufTotal) // prefix rows are reused, not re-encoded
+	e.ws.Reset()
+	e.tokens, e.segments = nil, nil // poison Backward: inference only
+	x := e.ws.Get(total, d)
+	if sufTotal > 0 {
+		// Embed every suffix into one packed matrix and LayerNorm it in one
+		// pass; both are row-local, so each suffix row matches what the
+		// per-sequence path computes for it.
+		sufX := e.ws.Get(sufTotal, d)
+		off := 0
+		for b := range sufTokens {
+			e.embedRowsAt(sufX, off, sufTokens[b], sufSegments[b], p)
+			off += len(sufTokens[b])
+		}
+		sufN := e.embLN.Forward(e.ws, sufX)
+		off = 0
+		for b := range sufTokens {
+			n := len(sufTokens[b])
+			copy(x.Data[(e.batchOffs[b]+p)*d:(e.batchOffs[b]+p+n)*d], sufN.Data[off*d:(off+n)*d])
+			off += n
+		}
+	}
+	for b := range sufTokens {
+		copy(x.Data[e.batchOffs[b]*d:(e.batchOffs[b]+p)*d], pc.X.Data)
+	}
+	return e.encodeBatch(x, masks), e.batchOffs
+}
+
+// recordBatch bumps the batched-pass metrics; tokens counts only rows that
+// are actually embedded this pass.
+func (e *Encoder) recordBatch(seqs, tokens int) {
+	e.mForward.Add(int64(seqs))
+	e.mTokens.Add(int64(tokens))
+	e.mBatchPasses.Add(1)
+	e.mBatchSeqs.Add(int64(seqs))
+	e.hBatchSize.Observe(float64(seqs))
+}
+
+// encodeBatch runs the transformer blocks over the packed post-embedding
+// states. Everything except attention is row-local and runs directly on the
+// packed matrix; attention goes through the per-sequence batched kernel.
+func (e *Encoder) encodeBatch(x *Mat, masks [][]bool) *Mat {
+	for _, l := range e.layers {
+		h := l.attn.BatchedForward(e.ws, x, e.batchOffs, e.batchLens, masks)
+		h.AddInPlace(x)
+		x = l.ln1.Forward(e.ws, h)
+		f := l.ffn.Forward(e.ws, x)
+		f.AddInPlace(x)
+		x = l.ln2.Forward(e.ws, f)
+	}
+	return x
+}
+
+// BatchedForward computes self-attention over B sequences packed into
+// x [ΣT×dim]: the Q/K/V/output projections run on the packed matrix (large
+// GEMMs), the score/softmax/probs·V stage runs per sequence on row windows,
+// so position i of sequence b attends exactly the keys of sequence b — no
+// cross-sequence leakage, bit-identical to Forward on each sequence alone.
+// Inference-only: the backward caches are not populated.
+func (a *MultiHeadAttention) BatchedForward(ws *Workspace, x *Mat, offs, lens []int, masks [][]bool) *Mat {
+	q, k, v := a.Wq.Forward(ws, x), a.Wk.Forward(ws, x), a.Wv.Forward(ws, x)
+	concat := ws.Get(x.Rows, a.Dim)
+	scale := 1 / math.Sqrt(float64(a.dk))
+	for b := range offs {
+		ro, seq := offs[b], lens[b]
+		qv, kv := ws.View(q, ro, seq), ws.View(k, ro, seq)
+		for h := 0; h < a.Heads; h++ {
+			off := h * a.dk
+			scores := ws.Get(seq, seq)
+			AttnScoresSoftmax(qv, kv, off, a.dk, scale, masks[b], scores)
+			for i := 0; i < seq; i++ {
+				prow := scores.Row(i)
+				crow := concat.Row(ro + i)[off : off+a.dk]
+				for j := 0; j < seq; j++ {
+					p := prow[j]
+					if p == 0 {
+						continue
+					}
+					vj := v.Row(ro + j)[off : off+a.dk]
+					for t := 0; t < a.dk; t++ {
+						crow[t] += p * vj[t]
+					}
+				}
+			}
+		}
+	}
+	return a.Wo.Forward(ws, concat)
+}

@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchedTestEncoder builds a small encoder for the batched-parity property
+// tests.
+func batchedTestEncoder(seed int64) (*Encoder, *RegressionHead) {
+	rng := rand.New(rand.NewSource(seed))
+	ps := &Params{}
+	enc := NewEncoder(Config{
+		VocabSize: 60, MaxSeqLen: 24, Dim: 16, Heads: 2, Layers: 2, FFNHidden: 32, Segments: 3,
+	}, ps, rng)
+	head := NewRegressionHead(ps, "head", 16, rng)
+	return enc, head
+}
+
+// randSeq draws one sequence of length n with a random real/padding split
+// (at least one real position).
+func randSeq(rng *rand.Rand, n, vocab, segments int) (tokens, segs []int, mask []bool) {
+	tokens = make([]int, n)
+	segs = make([]int, n)
+	mask = make([]bool, n)
+	real := 1 + rng.Intn(n)
+	for i := 0; i < n; i++ {
+		tokens[i] = rng.Intn(vocab)
+		segs[i] = rng.Intn(segments)
+		mask[i] = i < real
+	}
+	return
+}
+
+// assertWindowBitEqual compares sequence b's window of the packed hidden
+// states against its per-sequence reference, bit for bit.
+func assertWindowBitEqual(t *testing.T, label string, b int, packed *Mat, off int, want *Mat) {
+	t.Helper()
+	for i := 0; i < want.Rows; i++ {
+		prow, wrow := packed.Row(off+i), want.Row(i)
+		for j := range wrow {
+			if math.Float64bits(prow[j]) != math.Float64bits(wrow[j]) {
+				t.Fatalf("%s: sequence %d row %d col %d: packed %v vs reference %v",
+					label, b, i, j, prow[j], wrow[j])
+			}
+		}
+	}
+}
+
+// TestBatchedForwardMatchesForward property-tests the packed batched pass
+// against per-sequence Forward calls over random batch sizes, sequence
+// lengths, masks and intra-op worker counts. "Matches" means bit-identical
+// hidden states for every sequence, including identical head readouts via
+// ForwardAt.
+func TestBatchedForwardMatchesForward(t *testing.T) {
+	t.Cleanup(func() { SetIntraOp(1, 0) })
+	rng := rand.New(rand.NewSource(51))
+	enc, head := batchedTestEncoder(50)
+	for _, workers := range []int{1, 2, 3} {
+		SetIntraOp(workers, 8)
+		for _, batch := range []int{1, 2, 3, 8} {
+			for trial := 0; trial < 4; trial++ {
+				tokens := make([][]int, batch)
+				segs := make([][]int, batch)
+				masks := make([][]bool, batch)
+				for b := range tokens {
+					n := 1 + rng.Intn(enc.Cfg.MaxSeqLen)
+					tokens[b], segs[b], masks[b] = randSeq(rng, n, enc.Cfg.VocabSize, enc.Cfg.Segments)
+				}
+				want := make([]*Mat, batch)
+				wantPred := make([]float64, batch)
+				for b := range tokens {
+					h := enc.Forward(tokens[b], segs[b], masks[b])
+					wantPred[b] = head.Forward(h)
+					want[b] = h.Clone()
+				}
+				packed, offs := enc.BatchedForward(tokens, segs, masks)
+				for b := range tokens {
+					assertWindowBitEqual(t, "BatchedForward", b, packed, offs[b], want[b])
+					got := head.ForwardAt(packed, offs[b])
+					if math.Float64bits(got) != math.Float64bits(wantPred[b]) {
+						t.Fatalf("workers=%d batch=%d seq %d: head %v vs reference %v",
+							workers, batch, b, got, wantPred[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedForwardWithPrefixMatchesPerSequence property-tests the
+// prefix-sharing batched pass against per-sequence ForwardWithPrefix calls,
+// including an empty suffix (the sequence is exactly the prefix).
+func TestBatchedForwardWithPrefixMatchesPerSequence(t *testing.T) {
+	t.Cleanup(func() { SetIntraOp(1, 0) })
+	rng := rand.New(rand.NewSource(52))
+	enc, head := batchedTestEncoder(50)
+	prefix := []int{2, 8, 14, 3, 21, 7, 3}
+	prefixSeg := []int{0, 0, 0, 0, 1, 1, 1}
+	pc := enc.EmbedPrefix(prefix, prefixSeg)
+	p := pc.Len()
+	for _, workers := range []int{1, 2, 3} {
+		SetIntraOp(workers, 8)
+		for _, batch := range []int{1, 2, 5, 8} {
+			for trial := 0; trial < 4; trial++ {
+				sufs := make([][]int, batch)
+				sufSegs := make([][]int, batch)
+				masks := make([][]bool, batch)
+				for b := range sufs {
+					n := rng.Intn(enc.Cfg.MaxSeqLen - p + 1) // 0 = prefix-only sequence
+					sufs[b] = make([]int, n)
+					sufSegs[b] = make([]int, n)
+					for i := 0; i < n; i++ {
+						sufs[b][i] = rng.Intn(enc.Cfg.VocabSize)
+						sufSegs[b][i] = 2
+					}
+					masks[b] = make([]bool, p+n)
+					for i := range masks[b] {
+						masks[b][i] = true
+					}
+				}
+				want := make([]*Mat, batch)
+				wantPred := make([]float64, batch)
+				for b := range sufs {
+					h := enc.ForwardWithPrefix(pc, sufs[b], sufSegs[b], masks[b])
+					wantPred[b] = head.Forward(h)
+					want[b] = h.Clone()
+				}
+				packed, offs := enc.BatchedForwardWithPrefix(pc, sufs, sufSegs, masks)
+				for b := range sufs {
+					assertWindowBitEqual(t, "BatchedForwardWithPrefix", b, packed, offs[b], want[b])
+					got := head.ForwardAt(packed, offs[b])
+					if math.Float64bits(got) != math.Float64bits(wantPred[b]) {
+						t.Fatalf("workers=%d batch=%d seq %d: head %v vs reference %v",
+							workers, batch, b, got, wantPred[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedStepZeroAllocs pins the steady-state allocation count of a
+// warmed batched inference pass (packed forward plus per-sequence head
+// readouts) to exactly zero at the default intra-op configuration. Like
+// TestEncoderStepZeroAllocs, scripts/ci.sh fails if this test is skipped.
+func TestBatchedStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rng := rand.New(rand.NewSource(53))
+	enc, head := batchedTestEncoder(50)
+	prefix := []int{2, 8, 14, 3, 21, 3}
+	prefixSeg := []int{0, 0, 0, 0, 1, 1}
+	pc := enc.EmbedPrefix(prefix, prefixSeg)
+	p := pc.Len()
+	const batch = 4
+	tokens := make([][]int, batch)
+	segs := make([][]int, batch)
+	masks := make([][]bool, batch)
+	sufs := make([][]int, batch)
+	sufSegs := make([][]int, batch)
+	sufMasks := make([][]bool, batch)
+	for b := 0; b < batch; b++ {
+		n := 3 + b // mixed lengths: the pool is keyed by shape, not last use
+		tokens[b], segs[b], masks[b] = randSeq(rng, n, enc.Cfg.VocabSize, enc.Cfg.Segments)
+		sufs[b] = make([]int, n)
+		sufSegs[b] = make([]int, n)
+		copy(sufs[b], tokens[b])
+		sufMasks[b] = make([]bool, p+n)
+		for i := range sufMasks[b] {
+			sufMasks[b][i] = true
+		}
+	}
+	step := func() {
+		packed, offs := enc.BatchedForward(tokens, segs, masks)
+		for b := range offs {
+			head.ForwardAt(packed, offs[b])
+		}
+		packed, offs = enc.BatchedForwardWithPrefix(pc, sufs, sufSegs, sufMasks)
+		for b := range offs {
+			head.ForwardAt(packed, offs[b])
+		}
+	}
+	step()
+	step() // warm: every scratch shape, view header and offset slice pooled
+	allocs := testing.AllocsPerRun(20, step)
+	if allocs != 0 {
+		t.Errorf("warmed batched pass allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -51,3 +51,29 @@ func BenchmarkEncoderForward(b *testing.B) {
 		head.Forward(h)
 	}
 }
+
+// BenchmarkEncoderBatchedForward measures the packed batched pass: 8
+// sequences encoded per op through one set of large GEMMs, plus the 8 head
+// readouts. Compare ns/op against 8× BenchmarkEncoderForward for the packing
+// win; allocs/op must stay 0.
+func BenchmarkEncoderBatchedForward(b *testing.B) {
+	enc, head, tokens, segments, mask := benchSetup()
+	const batch = 8
+	toks := make([][]int, batch)
+	segs := make([][]int, batch)
+	masks := make([][]bool, batch)
+	for i := range toks {
+		toks[i], segs[i], masks[i] = tokens, segments, mask
+	}
+	for i := 0; i < 2; i++ {
+		enc.BatchedForward(toks, segs, masks)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, offs := enc.BatchedForward(toks, segs, masks)
+		for _, off := range offs {
+			head.ForwardAt(h, off)
+		}
+	}
+}

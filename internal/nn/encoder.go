@@ -50,11 +50,17 @@ type Encoder struct {
 
 	tokens, segments []int
 
+	// Per-batched-pass scratch: row offsets and lengths of the packed
+	// sequences (see BatchedForward). Reused across calls.
+	batchOffs, batchLens []int
+
 	// Metric handles, resolved once at construction against the registry
 	// installed at the time (nil handles — the no-op recorder — otherwise).
 	// Same-name handles share storage, so replicas aggregate into one metric
 	// and each increment stays a single atomic add: 0 bytes, O(1) per step.
 	mForward, mBackward, mTokens *obs.Counter
+	mBatchPasses, mBatchSeqs     *obs.Counter
+	hBatchSize                   *obs.Histogram
 }
 
 type encoderLayer struct {
@@ -83,6 +89,9 @@ func NewEncoder(cfg Config, ps *Params, rng *rand.Rand) *Encoder {
 	e.mForward = reg.Counter("nn.encoder.forward_passes")
 	e.mBackward = reg.Counter("nn.encoder.backward_passes")
 	e.mTokens = reg.Counter("nn.encoder.tokens")
+	e.mBatchPasses = reg.Counter("nn.batch.passes")
+	e.mBatchSeqs = reg.Counter("nn.batch.sequences")
+	e.hBatchSize = reg.Histogram("nn.batch.size", obs.ExpBuckets(1, 2, 8))
 	e.tokEmb.initNormal(rng, 0.02)
 	e.posEmb.initNormal(rng, 0.02)
 	e.segEmb.initNormal(rng, 0.02)
@@ -122,10 +131,20 @@ func (e *Encoder) Forward(tokens, segments []int, mask []bool) *Mat {
 // embedRows sums token, position and segment embeddings for rows occupying
 // absolute positions [posOffset, posOffset+len(tokens)).
 func (e *Encoder) embedRows(tokens, segments []int, posOffset int) *Mat {
+	x := e.ws.Get(len(tokens), e.Cfg.Dim)
+	e.embedRowsAt(x, 0, tokens, segments, posOffset)
+	return x
+}
+
+// embedRowsAt writes the embedding rows of one sequence into x starting at
+// row rowOff — the packing primitive of the batched forward passes. Position
+// embeddings follow posOffset (the sequence's own positions), not the packed
+// row index, so each sequence in a packed matrix embeds exactly as it would
+// alone.
+func (e *Encoder) embedRowsAt(x *Mat, rowOff int, tokens, segments []int, posOffset int) {
 	d := e.Cfg.Dim
-	x := e.ws.Get(len(tokens), d)
 	for i := range tokens {
-		row := x.Row(i)
+		row := x.Row(rowOff + i)
 		tok := e.tokEmb.W[tokens[i]*d : (tokens[i]+1)*d]
 		pos := e.posEmb.W[(posOffset+i)*d : (posOffset+i+1)*d]
 		seg := e.segEmb.W[segments[i]*d : (segments[i]+1)*d]
@@ -133,7 +152,6 @@ func (e *Encoder) embedRows(tokens, segments []int, posOffset int) *Mat {
 			row[j] = tok[j] + pos[j] + seg[j]
 		}
 	}
-	return x
 }
 
 // encode runs the transformer blocks over post-embedding states x.
@@ -256,8 +274,16 @@ func NewRegressionHead(ps *Params, name string, dim int, rng *rand.Rand) *Regres
 
 // Forward returns the scalar prediction from the [CLS] row of hidden.
 func (h *RegressionHead) Forward(hidden *Mat) float64 {
+	return h.ForwardAt(hidden, 0)
+}
+
+// ForwardAt returns the scalar prediction from row `row` of hidden — for
+// packed batched passes, the [CLS] row of one sequence sits at its offset
+// rather than at row 0. Bit-identical to Forward over that sequence's own
+// hidden matrix: the head reads exactly the same Dim floats either way.
+func (h *RegressionHead) ForwardAt(hidden *Mat, row int) float64 {
 	h.ws.Reset()
-	h.cls = Mat{Rows: 1, Cols: hidden.Cols, Data: hidden.Row(0)}
+	h.cls = Mat{Rows: 1, Cols: hidden.Cols, Data: hidden.Row(row)}
 	return h.lin.Forward(h.ws, &h.cls).Data[0]
 }
 

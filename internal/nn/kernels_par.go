@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Intra-op parallelism: the Par kernel variants below partition the *output
+// rows* of a GEMM across the worker pool. Every output row is computed in
+// full by exactly one worker with the serial kernel's per-row routine, so the
+// floating-point accumulation order per element is unchanged and results are
+// bit-identical for every worker count — the same determinism contract as
+// the rest of internal/parallel, pushed one level down into the kernels.
+//
+// The knobs are package-level (kernels are free functions and thread through
+// every layer); they default to workers=1, which makes every Par variant an
+// inline call to the serial kernel — zero overhead and zero allocations, so
+// the warmed-step 0 allocs/op contract holds in the default configuration.
+// Enabling workers > 1 trades steady-state allocations (goroutine fan-out per
+// large GEMM) for wall-clock; callers opt in explicitly (scripts/bench.sh via
+// the batched ranking benchmark, servers at start-up). The row threshold
+// keeps tiny matrices — per-sample training steps, single short sequences —
+// on the inline path even when workers are enabled.
+var (
+	intraOpWorkers atomic.Int64 // 1 = inline serial kernels (default)
+	intraOpMinRows atomic.Int64 // minimum output rows before fanning out
+)
+
+// DefaultIntraOpMinRows is the tuned row threshold below which row-parallel
+// kernels stay inline: at BaseConfig dimensions the pool dispatch overhead
+// amortizes at roughly this many independent output rows.
+const DefaultIntraOpMinRows = 64
+
+func init() {
+	intraOpWorkers.Store(1)
+	intraOpMinRows.Store(DefaultIntraOpMinRows)
+}
+
+// SetIntraOp configures intra-op row parallelism for the Par kernel variants:
+// workers <= 1 disables fan-out entirely; minRows <= 0 restores the default
+// threshold. Outputs are bit-identical for every setting — the knobs affect
+// wall-clock and allocation behaviour only.
+func SetIntraOp(workers, minRows int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if minRows <= 0 {
+		minRows = DefaultIntraOpMinRows
+	}
+	intraOpWorkers.Store(int64(workers))
+	intraOpMinRows.Store(int64(minRows))
+}
+
+// IntraOpWorkers reports the configured intra-op worker count.
+func IntraOpWorkers() int { return int(intraOpWorkers.Load()) }
+
+// IntraOpMinRows reports the configured row threshold.
+func IntraOpMinRows() int { return int(intraOpMinRows.Load()) }
+
+// ParMatMulInto computes out = a·b like MatMulInto, partitioning output rows
+// across the intra-op worker pool when a.Rows meets the configured threshold.
+// Bit-identical to MatMulInto for every worker count.
+func ParMatMulInto(a, b, out *Mat) {
+	w := IntraOpWorkers()
+	if w <= 1 || a.Rows < IntraOpMinRows() {
+		MatMulInto(a, b, out)
+		return
+	}
+	checkMatMulShapes(a, b, out)
+	parallel.ForEachRows(w, a.Rows, 0, func(i int) { matMulRow(a, b, out, i) })
+}
+
+// ParMatMulTInto computes out = a·bᵀ like MatMulTInto, partitioning output
+// rows across the intra-op worker pool when a.Rows meets the configured
+// threshold. Bit-identical to MatMulTInto for every worker count.
+func ParMatMulTInto(a, b, out *Mat) {
+	w := IntraOpWorkers()
+	if w <= 1 || a.Rows < IntraOpMinRows() {
+		MatMulTInto(a, b, out)
+		return
+	}
+	checkMatMulTShapes(a, b, out)
+	parallel.ForEachRows(w, a.Rows, 0, func(i int) { matMulTRow(a, b, out, i) })
+}

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParKernelsMatchSerial property-tests the row-partitioned GEMM variants
+// against the serial kernels across worker counts, thresholds and shapes
+// (including shapes straddling the threshold). "Match" means bit-identical:
+// each output row is computed by exactly one worker with the serial per-row
+// routine, so the accumulation order per element never changes.
+func TestParKernelsMatchSerial(t *testing.T) {
+	t.Cleanup(func() { SetIntraOp(1, 0) })
+	rng := rand.New(rand.NewSource(43))
+	for _, workers := range []int{1, 2, 3, 5} {
+		for _, minRows := range []int{1, 8} {
+			SetIntraOp(workers, minRows)
+			for trial := 0; trial < 20; trial++ {
+				m := 1 + rng.Intn(24) // straddles minRows=8
+				k := 1 + rng.Intn(12)
+				n := 1 + rng.Intn(12)
+				zeroFrac := 0.0
+				if trial%2 == 1 {
+					zeroFrac = 0.4
+				}
+				a := randMatZeros(rng, m, k, zeroFrac)
+				b := randMatZeros(rng, k, n, zeroFrac)
+				want := NewMat(m, n)
+				MatMulInto(a, b, want)
+				got := dirty(rng, m, n)
+				ParMatMulInto(a, b, got)
+				assertBitEqual(t, "ParMatMulInto", got, want)
+
+				bt := randMatZeros(rng, n, k, zeroFrac)
+				wantT := NewMat(m, n)
+				MatMulTInto(a, bt, wantT)
+				gotT := dirty(rng, m, n)
+				ParMatMulTInto(a, bt, gotT)
+				assertBitEqual(t, "ParMatMulTInto", gotT, wantT)
+			}
+		}
+	}
+}
+
+// TestSetIntraOpClamps checks the knob's floor and default restoration.
+func TestSetIntraOpClamps(t *testing.T) {
+	t.Cleanup(func() { SetIntraOp(1, 0) })
+	SetIntraOp(0, -3)
+	if got := IntraOpWorkers(); got != 1 {
+		t.Errorf("IntraOpWorkers() = %d after SetIntraOp(0, ...), want 1", got)
+	}
+	if got := IntraOpMinRows(); got != DefaultIntraOpMinRows {
+		t.Errorf("IntraOpMinRows() = %d after SetIntraOp(_, -3), want default %d", got, DefaultIntraOpMinRows)
+	}
+	SetIntraOp(4, 128)
+	if IntraOpWorkers() != 4 || IntraOpMinRows() != 128 {
+		t.Errorf("SetIntraOp(4, 128) not observed: workers=%d minRows=%d", IntraOpWorkers(), IntraOpMinRows())
+	}
+}

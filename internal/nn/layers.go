@@ -22,11 +22,15 @@ func NewLinear(ps *Params, name string, in, out int, rng *rand.Rand) *Linear {
 	return l
 }
 
-// Forward computes y = xW + b for x of shape [n×In] into ws scratch.
+// Forward computes y = xW + b for x of shape [n×In] into ws scratch. The
+// GEMM goes through the row-partitioned Par variant, so large inputs (packed
+// batched sequences, full-length training GEMMs) fan out across the intra-op
+// pool when one is configured; below the row threshold — and always in the
+// default configuration — it is the plain serial kernel.
 func (l *Linear) Forward(ws *Workspace, x *Mat) *Mat {
 	l.x = x
 	y := ws.Get(x.Rows, l.Out)
-	MatMulInto(x, &l.w, y)
+	ParMatMulInto(x, &l.w, y)
 	for i := 0; i < y.Rows; i++ {
 		row := y.Row(i)
 		for j := range row {
@@ -49,9 +53,9 @@ func (l *Linear) Backward(ws *Workspace, grad *Mat) *Mat {
 			l.B.G[j] += g
 		}
 	}
-	// dL/dx = grad · Wᵀ.
+	// dL/dx = grad · Wᵀ (row-partitioned above the intra-op threshold).
 	dx := ws.Get(grad.Rows, l.In)
-	MatMulTInto(grad, &l.w, dx)
+	ParMatMulTInto(grad, &l.w, dx)
 	return dx
 }
 

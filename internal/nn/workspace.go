@@ -16,6 +16,12 @@ package nn
 type Workspace struct {
 	free  map[[2]int][]*Mat // recycled matrices by (rows, cols)
 	taken []*Mat            // matrices handed out since the last Reset
+
+	// Reusable Mat headers for row-range views into packed batched matrices
+	// (see View). Headers alias other matrices' storage, so they live outside
+	// the shape-keyed data pool: Reset only rewinds viewsUsed.
+	views     []*Mat
+	viewsUsed int
 }
 
 // NewWorkspace returns an empty arena.
@@ -48,6 +54,26 @@ func (ws *Workspace) Floats(n int) []float64 {
 	return ws.Get(n, 1).Data
 }
 
+// View returns a Mat header aliasing rows [lo, lo+n) of src — the
+// per-sequence window into a packed batched matrix. The header (not the
+// data) is workspace-owned scratch with the same lifetime as Get results:
+// valid until the next Reset, recycled afterwards, so warmed batched passes
+// hand out views without allocating. The view shares src's storage; writes
+// through it are writes to src.
+func (ws *Workspace) View(src *Mat, lo, n int) *Mat {
+	var m *Mat
+	if ws.viewsUsed < len(ws.views) {
+		m = ws.views[ws.viewsUsed]
+	} else {
+		m = &Mat{}
+		ws.views = append(ws.views, m)
+	}
+	ws.viewsUsed++
+	m.Rows, m.Cols = n, src.Cols
+	m.Data = src.Data[lo*src.Cols : (lo+n)*src.Cols]
+	return m
+}
+
 // Reset recycles every matrix handed out since the previous Reset. All of
 // them become invalid to the caller; the backing storage is reused by
 // subsequent Gets of the same shape.
@@ -57,4 +83,8 @@ func (ws *Workspace) Reset() {
 		ws.free[key] = append(ws.free[key], m)
 	}
 	ws.taken = ws.taken[:0]
+	for _, v := range ws.views[:ws.viewsUsed] {
+		v.Data = nil // views must not pin recycled storage past the step
+	}
+	ws.viewsUsed = 0
 }

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -31,5 +33,43 @@ func TestValidateManifestFile(t *testing.T) {
 	}
 	if err := ValidateManifest(data); err != nil {
 		t.Fatalf("manifest %s invalid: %v", path, err)
+	}
+	// REPRO_MANIFEST_EXPECT_METRICS names comma-separated metric-name prefixes
+	// that must appear (with activity) in the manifest's metrics snapshot —
+	// scripts/ci.sh uses it to assert the tiny end-to-end run genuinely
+	// exercised specific subsystems (e.g. nn.batch. for the batched ranking
+	// path) rather than merely registering their metrics.
+	expect := os.Getenv("REPRO_MANIFEST_EXPECT_METRICS")
+	if expect == "" {
+		return
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics == nil {
+		t.Fatalf("manifest %s has no metrics snapshot but prefixes %q are expected", path, expect)
+	}
+	for _, prefix := range strings.Split(expect, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix == "" {
+			continue
+		}
+		found := false
+		for name, v := range m.Metrics.Counters {
+			if strings.HasPrefix(name, prefix) && v > 0 {
+				found = true
+				break
+			}
+		}
+		for name, h := range m.Metrics.Histograms {
+			if strings.HasPrefix(name, prefix) && h.Count > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("manifest %s records no active metric with prefix %q", path, prefix)
+		}
 	}
 }

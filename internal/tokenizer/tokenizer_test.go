@@ -215,3 +215,42 @@ func TestFitLengthsMatchesPack(t *testing.T) {
 		}
 	}
 }
+
+// TestFitLengthsExactBudgetEdges pins the truncation rule at the exact-budget
+// boundary, where the prefix-reuse fast path of internal/core flips between
+// hit and fallback: a (q, t, f) triple that exactly fills the budget must be
+// left untouched, one token of overflow must trim exactly the longest segment
+// (the fact when the fact is longest — fast path survives with a shorter
+// fact; the query or tuple when one of them is longest — which forces the
+// per-fact fallback, identically for the per-fact and batched rankers, both
+// of which route eligibility through this function).
+func TestFitLengthsExactBudgetEdges(t *testing.T) {
+	cases := []struct {
+		name   string
+		maxLen int
+		lens   []int
+		want   []int
+	}{
+		// budget = maxLen - 1 (CLS) - 3 (SEPs) = 16
+		{"exact fill untouched", 20, []int{6, 4, 6}, []int{6, 4, 6}},
+		{"fact overflow by one trims fact", 20, []int{6, 3, 8}, []int{6, 3, 7}},
+		{"query overflow by one trims query", 20, []int{9, 4, 4}, []int{8, 4, 4}},
+		{"tuple overflow by one trims tuple", 20, []int{4, 9, 4}, []int{4, 8, 4}},
+		{"tie on overflow trims first longest", 20, []int{7, 3, 7}, []int{6, 3, 7}},
+		{"fact alone exactly fills", 20, []int{0, 0, 16}, []int{0, 0, 16}},
+		{"fact alone overflows by one", 20, []int{0, 0, 17}, []int{0, 0, 16}},
+		// budget = 12 - 1 - 2 = 9 for two segments
+		{"two segments exact fill", 12, []int{5, 4}, []int{5, 4}},
+		{"two segments overflow by one", 12, []int{6, 4}, []int{5, 4}},
+	}
+	for _, c := range cases {
+		lens := append([]int(nil), c.lens...)
+		FitLengths(c.maxLen, lens)
+		for i, w := range c.want {
+			if lens[i] != w {
+				t.Errorf("%s: FitLengths(%d, %v) = %v, want %v", c.name, c.maxLen, c.lens, lens, c.want)
+				break
+			}
+		}
+	}
+}

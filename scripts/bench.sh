@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — records the repo's two performance artifacts:
+# bench.sh — records the repo's three performance artifacts:
 #
 #   BENCH_kernels.json  — single-worker kernel/encoding performance: the
 #       end-to-end ranking benchmark through the pre-optimization reference
@@ -10,6 +10,13 @@
 #       speedup. Note the baseline already runs on the zero-allocation Into
 #       kernels, so the recorded speedup understates the total win over the
 #       original allocating kernels.
+#
+#   BENCH_batch.json    — end-to-end ranking through the per-fact prefix path
+#       vs the packed batched path (RankBatch chunks + intra-op GEMM
+#       parallelism). Outputs are bit-identical (TestRankOnBatchedGolden);
+#       the batched win comes from fanning large packed GEMMs across the
+#       intra-op pool, so on a single-core machine the comparison is skipped
+#       with an explicit marker, like BENCH_parallel.json.
 #
 #   BENCH_parallel.json — wall-clock effect of data-parallelism on the two
 #       heaviest benchmarks at workers=1 vs workers=N (default: one per CPU;
@@ -82,6 +89,57 @@ cat > "$KOUT" <<EOF
 }
 EOF
 echo "wrote $KOUT"
+
+# ------------------------------------------------------------------ batch ----
+
+BOUT=BENCH_batch.json
+
+if [ "$CORES" -le 1 ] || [ "$N" -le 1 ]; then
+    echo "== batched ranking benchmark: skipped (cores=$CORES, N=$N) =="
+    cat > "$BOUT" <<EOF
+{
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "cores": $CORES,
+  "skipped": true,
+  "note": "Batched-vs-prefix comparison skipped: the batched path's advantage comes from fanning large packed GEMMs across the intra-op worker pool, so on a single-core machine (or N<=1) the measurement would be bookkeeping noise, not speedup. Outputs are bit-identical either way (TestRankOnBatchedGolden). Re-run scripts/bench.sh on a multi-core machine to populate it."
+}
+EOF
+    echo "wrote $BOUT (skipped marker)"
+else
+    echo "== batched ranking benchmark: per-fact prefix vs packed batch (intra-op workers=$N) =="
+    echo "-- BenchmarkRankLineagePrefix (baseline: per-fact prefix reuse)"
+    bprefix_ns=$(bench_ns ./internal/core BenchmarkRankLineagePrefix 5x)
+    echo "   ${bprefix_ns} ns/op"
+    echo "-- BenchmarkRankLineageBatched (RankBatch=8, REPRO_WORKERS=$N)"
+    # The batched run also records a run manifest (nn.batch.* counters and
+    # batch-size histogram included) next to the BENCH file, via the
+    # TestMain/obs.StartFromEnv hook in internal/core.
+    batched_ns=$(REPRO_WORKERS=$N REPRO_METRICS_OUT="$PWD/BENCH_batch.manifest.json" REPRO_TRACE=1 \
+        bench_ns ./internal/core BenchmarkRankLineageBatched 5x)
+    echo "   ${batched_ns} ns/op"
+    echo "   wrote BENCH_batch.manifest.json"
+    bspeedup=$(awk -v a="$bprefix_ns" -v b="$batched_ns" 'BEGIN { printf "%.2f", a/b }')
+    echo "   speedup ${bspeedup}x"
+
+    cat > "$BOUT" <<EOF
+{
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "cores": $CORES,
+  "skipped": false,
+  "note": "Ranking scores are bit-identical across paths, chunk sizes and worker counts (TestRankOnBatchedGolden); the ratio is pure packing + intra-op scheduling speedup.",
+  "end_to_end_ranking": {
+    "baseline": "BenchmarkRankLineagePrefix",
+    "optimized": "BenchmarkRankLineageBatched",
+    "rank_batch": 8,
+    "intra_op_workers": $N,
+    "ns_per_op_prefix": $bprefix_ns,
+    "ns_per_op_batched": $batched_ns,
+    "speedup": $bspeedup
+  }
+}
+EOF
+    echo "wrote $BOUT"
+fi
 
 # --------------------------------------------------------------- parallel ----
 

@@ -26,6 +26,13 @@ go test ./...
 echo "== go test -race (concurrency packages) =="
 go test -race ./internal/obs ./internal/parallel ./internal/dataset ./internal/nn ./internal/core ./internal/experiments
 
+echo "== go test -race (batched + intra-op parallel paths) =="
+# The batched parity tests sweep nn.SetIntraOp worker counts, so this run
+# drives the row-partitioned GEMM fan-out and the packed batched passes under
+# the race detector explicitly.
+go test -race ./internal/nn -run 'Batched|ParKernels|ForEachRows'
+go test -race ./internal/core -run 'Batched'
+
 echo "== allocation regression gate =="
 # TestEncoderStepZeroAllocs pins the warmed encoder step to 0 allocs/op. It
 # self-skips under the race detector, so run it without -race here and fail
@@ -45,6 +52,14 @@ if ! echo "$alloc_out" | grep -q -- '--- PASS: TestEncoderStepZeroAllocsInstrume
     echo "TestEncoderStepZeroAllocsInstrumented did not pass (skipped?)" >&2
     exit 1
 fi
+# The batched sibling pins a warmed packed inference pass (batched forward +
+# per-sequence head readouts) to the same 0 allocs/op.
+alloc_out=$(go test ./internal/nn -run '^TestBatchedStepZeroAllocs$' -v)
+echo "$alloc_out" | tail -n 3
+if ! echo "$alloc_out" | grep -q -- '--- PASS: TestBatchedStepZeroAllocs'; then
+    echo "TestBatchedStepZeroAllocs did not pass (skipped?)" >&2
+    exit 1
+fi
 
 echo "== end-to-end run manifest =="
 # Tiny full pipeline (corpus -> train -> eval) with the observability stack on:
@@ -52,9 +67,14 @@ echo "== end-to-end run manifest =="
 # emits the run manifest, and the schema check validates what was written.
 manifest_dir=$(mktemp -d)
 trap 'rm -rf "$manifest_dir"' EXIT
+# -rank-batch 8 routes evaluation ranking through the packed batched encoder
+# path, so the manifest must show live nn.batch.* metrics — asserted below via
+# REPRO_MANIFEST_EXPECT_METRICS.
 go run ./cmd/tune -queries 16 -cases 2 -epochs 1 -samples 40 -pretrain=false \
-    -dim 8 -layers 1 -workers 2 -metrics-out "$manifest_dir/run.json" -trace -quiet 2>/dev/null
+    -dim 8 -layers 1 -workers 2 -rank-batch 8 \
+    -metrics-out "$manifest_dir/run.json" -trace -quiet 2>/dev/null
 REPRO_MANIFEST="$manifest_dir/run.json" \
+    REPRO_MANIFEST_EXPECT_METRICS="nn.batch.,core.rank." \
     go test ./internal/obs -run '^TestValidateManifestFile$' -v | tail -n 3
 
 echo "== nn benchmark smoke =="
