@@ -25,6 +25,7 @@ func main() {
 	similarities := flag.Bool("similarities", true, "compute Table 2 split similarities")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building (0 = one per CPU); output is identical for every value")
 	rankBatch := flag.Int("rank-batch", 0, "accepted for CLI uniformity with the ranking commands; corpus generation performs no ranking, so the value is only recorded in the run manifest")
+	trainBatch := flag.Int("train-batch", 0, "accepted for CLI uniformity with the training commands; corpus generation performs no training, so the value is only recorded in the run manifest")
 	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 	rn.SetConfig("scale", *scale)
 	rn.SetConfig("workers", *workers)
 	rn.SetConfig("rank_batch", *rankBatch)
+	rn.SetConfig("train_batch", *trainBatch)
 
 	kinds := []dataset.Kind{dataset.IMDB, dataset.Academic}
 	switch *kindFlag {

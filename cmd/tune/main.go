@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 11, "model seed")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building and training (0 = one per CPU); results are identical for every value")
 	rankBatch := flag.Int("rank-batch", 0, "pack up to this many lineage facts per batched encoder pass when ranking (0 or 1 = per-fact); scores are identical for every value")
+	trainBatch := flag.Int("train-batch", 0, "pack up to this many samples per batched encoder training pass (0 = replica per sample); trained weights are identical for every value")
 	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 	rn.SetConfig("seed", *seed)
 	rn.SetConfig("workers", *workers)
 	rn.SetConfig("rank_batch", *rankBatch)
+	rn.SetConfig("train_batch", *trainBatch)
 
 	kind := dataset.Academic
 	if *kindFlag == "imdb" {
@@ -88,6 +90,7 @@ func main() {
 	cfg.PretrainPairsPerEpoch = *ppairs
 	cfg.Workers = *workers
 	cfg.RankBatch = *rankBatch
+	cfg.TrainBatch = *trainBatch
 	if !*pretrain {
 		cfg.PretrainMetrics = nil
 		cfg.PretrainEpochs = 0

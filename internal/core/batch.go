@@ -97,7 +97,7 @@ func (m *Model) rankOnBatched(db *relation.Database, in Input) shapley.Values {
 			out[id] = 0
 			continue
 		}
-		fToks := tokenizer.TokenizeFact(f)
+		fToks := m.tokensForFact(db, id, f)
 		fLen, ok := s.eligibleFactLen(fToks)
 		if !ok {
 			s.mFallbacks.Add(1)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/shapley"
 	"repro/internal/tokenizer"
@@ -72,6 +73,14 @@ type ModelConfig struct {
 	// GEMMs instead of one small GEMM per fact. 0 or 1 keeps the per-fact
 	// prefix-reuse path. Scores are bit-identical either way (see batch.go).
 	RankBatch int
+	// TrainBatch > 0 routes pretrain/finetune mini-batches through the packed
+	// batched training path (nn.BatchedStep): up to TrainBatch sequences are
+	// packed into one [ΣT×Dim] forward+backward per step, so each layer's
+	// Q/K/V/FFN forward and dL/dx gradient GEMMs run as a few large matrix
+	// products under the intra-op pool instead of one small GEMM per sample.
+	// 0 keeps the replica-per-sample path. Trained weights, dev curves and the
+	// TrainReport are bit-identical either way (see train_batched.go).
+	TrainBatch int
 }
 
 // BaseConfig is LearnShapley-base at bench scale.
@@ -138,7 +147,18 @@ type Model struct {
 	mlmHead  *nn.VocabHead // nil unless Cfg.MLMWeight > 0
 
 	trainDB     *relation.Database
-	queryTokens map[int][]string // corpus query ID -> cached token sequence
+	queryTokens map[int][]string             // corpus query ID -> cached token sequence
+	tupleTokens map[[2]int][]string          // (query, case) -> cached output-tuple tokens
+	factTokens  map[relation.FactID][]string // training-DB fact -> cached token sequence
+
+	// Token-cache effectiveness counters (no-op without a live registry).
+	mTupleHits, mTupleMisses *obs.Counter
+	mFactHits, mFactMisses   *obs.Counter
+
+	// Packed-training slot buffers: slot i holds chunk sequence i's packed
+	// tokens between Pack and the encoder's BatchedStep (train_batched.go).
+	trainToks, trainSegs [][]int
+	trainMasks           [][]bool
 }
 
 // NumWeights reports the total scalar parameter count.
@@ -166,14 +186,21 @@ func assemble(cfg ModelConfig, tok *tokenizer.Tokenizer, ps *nn.Params, rng *ran
 		FFNHidden: cfg.FFNHidden,
 		Segments:  3,
 	}, ps, rng)
+	reg := obs.Metrics()
 	m := &Model{
-		Cfg:         cfg,
-		tok:         tok,
-		params:      ps,
-		enc:         enc,
-		simHeads:    make(map[string]*nn.RegressionHead),
-		shapHead:    nn.NewRegressionHead(ps, "head.shapley", cfg.Dim, rng),
-		queryTokens: make(map[int][]string),
+		Cfg:          cfg,
+		tok:          tok,
+		params:       ps,
+		enc:          enc,
+		simHeads:     make(map[string]*nn.RegressionHead),
+		shapHead:     nn.NewRegressionHead(ps, "head.shapley", cfg.Dim, rng),
+		queryTokens:  make(map[int][]string),
+		tupleTokens:  make(map[[2]int][]string),
+		factTokens:   make(map[relation.FactID][]string),
+		mTupleHits:   reg.Counter("core.tok.tuple_hits"),
+		mTupleMisses: reg.Counter("core.tok.tuple_misses"),
+		mFactHits:    reg.Counter("core.tok.fact_hits"),
+		mFactMisses:  reg.Counter("core.tok.fact_misses"),
 	}
 	for _, metric := range cfg.PretrainMetrics {
 		m.simHeads[metric] = nn.NewRegressionHead(ps, "head."+metric, cfg.Dim, rng)

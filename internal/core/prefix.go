@@ -103,9 +103,9 @@ func (s *lineageScorer) eligibleFactLen(fToks []string) (int, bool) {
 	return s.lens[2], true
 }
 
-// score predicts the (unscaled) Shapley value of one fact.
-func (s *lineageScorer) score(f *relation.Fact) float64 {
-	fToks := tokenizer.TokenizeFact(f)
+// score predicts the (unscaled) Shapley value of one fact from its tokens
+// (cached per fact by Model.tokensForFact at the call sites).
+func (s *lineageScorer) score(fToks []string) float64 {
 	fLen, ok := s.eligibleFactLen(fToks)
 	if !ok {
 		s.mFallbacks.Add(1)
@@ -149,7 +149,7 @@ func (m *Model) rankOn(db *relation.Database, in Input) shapley.Values {
 			out[id] = 0
 			continue
 		}
-		out[id] = s.score(f)
+		out[id] = s.score(m.tokensForFact(db, id, f))
 	}
 	return out
 }

@@ -60,7 +60,7 @@ func TestRankOnPrefixGolden(t *testing.T) {
 		s := newLineageScorer(m, in)
 		for _, id := range in.Lineage {
 			if f := c.DB.Fact(id); f != nil {
-				s.score(f)
+				s.score(m.tokensForFact(c.DB, id, f))
 			}
 		}
 		if s.pc != nil {
@@ -96,7 +96,7 @@ func TestRankOnPrefixGoldenTruncated(t *testing.T) {
 		s := newLineageScorer(m, in)
 		for _, id := range in.Lineage {
 			if f := c.DB.Fact(id); f != nil {
-				s.score(f)
+				s.score(m.tokensForFact(c.DB, id, f))
 			}
 		}
 		if s.pc == nil && len(in.Lineage) > 0 {

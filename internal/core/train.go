@@ -191,6 +191,39 @@ func (m *Model) tokensForQuery(c *dataset.Corpus, qi int) []string {
 	return t
 }
 
+// tokensForTuple caches the token sequence of a labeled case's output tuple,
+// so the fine-tuning loop stops re-tokenizing the same tuple on every epoch
+// pass over the sample pool. Like all model caches it is replica-local.
+func (m *Model) tokensForTuple(c *dataset.Corpus, qi, ci int) []string {
+	key := [2]int{qi, ci}
+	if t, ok := m.tupleTokens[key]; ok {
+		m.mTupleHits.Add(1)
+		return t
+	}
+	m.mTupleMisses.Add(1)
+	t := tokenizer.TokenizeValues(c.Queries[qi].Cases[ci].Tuple.Values)
+	m.tupleTokens[key] = t
+	return t
+}
+
+// tokensForFact caches fact token sequences for the training database, the
+// common case of both fine-tuning and ranking. Facts of any other database
+// (cross-schema inference, Section 7) bypass the cache — fact IDs are only
+// unique within one database — and are neither counted as hits nor misses.
+func (m *Model) tokensForFact(db *relation.Database, id relation.FactID, f *relation.Fact) []string {
+	if db != m.trainDB || m.trainDB == nil {
+		return tokenizer.TokenizeFact(f)
+	}
+	if t, ok := m.factTokens[id]; ok {
+		m.mFactHits.Add(1)
+		return t
+	}
+	m.mFactMisses.Add(1)
+	t := tokenizer.TokenizeFact(f)
+	m.factTokens[id] = t
+	return t
+}
+
 // pretrainDraw is one pre-training step with every random decision already
 // made: the query pair plus the MLM mask plan (when the MLM objective is on).
 // Workers consume draws without touching any RNG.
@@ -212,6 +245,10 @@ func (m *Model) pretrain(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg M
 	bs := batchSize(cfg, cfg.PretrainPairsPerEpoch)
 	reps := m.replicaSlots(min(bs, cfg.PretrainPairsPerEpoch))
 	so := newStageObs("pretrain", "dev_mse", bs)
+	var mPairs *obs.Counter
+	if reg := obs.Metrics(); reg != nil {
+		mPairs = reg.Counter("core.pretrain.pairs")
+	}
 	best := -1.0
 	var bestSnap [][]float64
 	for epoch := 0; epoch < cfg.PretrainEpochs; epoch++ {
@@ -234,15 +271,22 @@ func (m *Model) pretrain(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg M
 		for start := 0; start < len(draws); start += bs {
 			end := min(start+bs, len(draws))
 			batch := draws[start:end]
-			parallel.ForEach(cfg.Workers, len(batch), func(i int) {
-				loss := reps[i].pretrainStep(c, sims, batch[i])
-				if so.lossBuf != nil {
-					so.lossBuf[i] = loss
+			if cfg.TrainBatch > 0 {
+				// Packed path: gradients accumulate directly into m.params in
+				// slot order, bit-identical to the replica merge below.
+				m.pretrainStepBatched(c, sims, batch, so.lossBuf)
+			} else {
+				parallel.ForEach(cfg.Workers, len(batch), func(i int) {
+					loss := reps[i].pretrainStep(c, sims, batch[i])
+					if so.lossBuf != nil {
+						so.lossBuf[i] = loss
+					}
+				})
+				for i := range batch {
+					m.params.AddGradsFrom(reps[i].params)
 				}
-			})
-			for i := range batch {
-				m.params.AddGradsFrom(reps[i].params)
 			}
+			mPairs.Add(int64(len(batch)))
 			so.observeStep(m.params, len(batch))
 			opt.Step(len(batch))
 		}
@@ -252,7 +296,9 @@ func (m *Model) pretrain(c *dataset.Corpus, sims *dataset.SimilarityCache, cfg M
 		epochDone()
 		if best < 0 || mse < best {
 			best = mse
-			bestSnap = m.params.Snapshot()
+			// Reuses the persistent snapshot buffer: improving epochs overwrite
+			// it in place instead of allocating a fresh weight copy.
+			bestSnap = m.params.SnapshotInto(bestSnap)
 		}
 	}
 	if bestSnap != nil {
@@ -432,14 +478,18 @@ func (m *Model) finetune(c *dataset.Corpus, cfg ModelConfig, trainIdx []int, rng
 		for start := 0; start < steps; start += bs {
 			end := min(start+bs, steps)
 			batch := schedule[start:end]
-			parallel.ForEach(cfg.Workers, len(batch), func(i int) {
-				loss := reps[i].finetuneStep(c, pool[batch[i]], cfg)
-				if so.lossBuf != nil {
-					so.lossBuf[i] = loss
+			if cfg.TrainBatch > 0 {
+				m.finetuneStepBatched(c, pool, batch, cfg, so.lossBuf)
+			} else {
+				parallel.ForEach(cfg.Workers, len(batch), func(i int) {
+					loss := reps[i].finetuneStep(c, pool[batch[i]], cfg)
+					if so.lossBuf != nil {
+						so.lossBuf[i] = loss
+					}
+				})
+				for i := range batch {
+					m.params.AddGradsFrom(reps[i].params)
 				}
-			})
-			for i := range batch {
-				m.params.AddGradsFrom(reps[i].params)
 			}
 			so.observeStep(m.params, len(batch))
 			opt.Step(len(batch))
@@ -452,7 +502,7 @@ func (m *Model) finetune(c *dataset.Corpus, cfg ModelConfig, trainIdx []int, rng
 		// saturate NDCG early while test quality still improves.
 		if ndcg >= best {
 			best = ndcg
-			bestSnap = m.params.Snapshot()
+			bestSnap = m.params.SnapshotInto(bestSnap)
 		}
 	}
 	if bestSnap != nil {
@@ -465,11 +515,9 @@ func (m *Model) finetune(c *dataset.Corpus, cfg ModelConfig, trainIdx []int, rng
 // finetuneStep accumulates the squared-loss gradient of one (q, t, f) sample
 // into the model's (or replica's) accumulators, returning the sample loss.
 func (m *Model) finetuneStep(c *dataset.Corpus, sm finetuneSample, cfg ModelConfig) float64 {
-	q := c.Queries[sm.query]
-	cs := q.Cases[sm.caseI]
 	qToks := m.tokensForQuery(c, sm.query)
-	tToks := tokenizer.TokenizeValues(cs.Tuple.Values)
-	fToks := tokenizer.TokenizeFact(c.DB.Fact(sm.fact))
+	tToks := m.tokensForTuple(c, sm.query, sm.caseI)
+	fToks := m.tokensForFact(c.DB, sm.fact, c.DB.Fact(sm.fact))
 	p := m.tok.Pack(m.Cfg.MaxSeqLen, 3, qToks, tToks, fToks)
 	hidden := m.enc.Forward(p.Tokens, p.Segments, p.Mask)
 	pred := m.shapHead.Forward(hidden)

@@ -48,6 +48,7 @@ func (e *Encoder) BatchedForward(tokens, segments [][]int, masks [][]bool) (*Mat
 	e.recordBatch(len(tokens), total)
 	e.ws.Reset()
 	e.tokens, e.segments = nil, nil // poison Backward: inference only
+	e.batchTrain = false            // and BatchedBackward: the sublayer caches are not populated
 	x := e.ws.Get(total, e.Cfg.Dim)
 	for b := range tokens {
 		e.embedRowsAt(x, e.batchOffs[b], tokens[b], segments[b], 0)
@@ -85,6 +86,7 @@ func (e *Encoder) BatchedForwardWithPrefix(pc *PrefixCache, sufTokens, sufSegmen
 	e.recordBatch(len(sufTokens), sufTotal) // prefix rows are reused, not re-encoded
 	e.ws.Reset()
 	e.tokens, e.segments = nil, nil // poison Backward: inference only
+	e.batchTrain = false            // and BatchedBackward: the sublayer caches are not populated
 	x := e.ws.Get(total, d)
 	if sufTotal > 0 {
 		// Embed every suffix into one packed matrix and LayerNorm it in one

@@ -54,12 +54,31 @@ type Encoder struct {
 	// sequences (see BatchedForward). Reused across calls.
 	batchOffs, batchLens []int
 
+	// Batched-training caches (see batched_train.go): the per-sequence token,
+	// segment and mask slices of the last BatchedForwardTrain, consumed by
+	// BatchedBackward for the embedding scatter and the per-sequence attention
+	// backward. batchTrain guards against calling BatchedBackward after an
+	// inference-only pass (which does not populate the sublayer caches).
+	batchTokens, batchSegments [][]int
+	batchMasks                 [][]bool
+	batchTrain                 bool
+
+	// Per-sample staging for the batched embedding backward: dense token and
+	// segment gradient accumulators (tokStage indexed like tokEmb.G, with
+	// tokTouched/tokMark tracking the rows dirtied by the current sample so
+	// clearing stays O(seq), not O(vocab)). Allocated lazily on the first
+	// batched backward; see batchedEmbedBackward for why staging is needed.
+	tokStage, segStage []float64
+	tokTouched         []int
+	tokMark            []bool
+
 	// Metric handles, resolved once at construction against the registry
 	// installed at the time (nil handles — the no-op recorder — otherwise).
 	// Same-name handles share storage, so replicas aggregate into one metric
 	// and each increment stays a single atomic add: 0 bytes, O(1) per step.
 	mForward, mBackward, mTokens *obs.Counter
 	mBatchPasses, mBatchSeqs     *obs.Counter
+	mBatchTrain                  *obs.Counter
 	hBatchSize                   *obs.Histogram
 }
 
@@ -91,6 +110,7 @@ func NewEncoder(cfg Config, ps *Params, rng *rand.Rand) *Encoder {
 	e.mTokens = reg.Counter("nn.encoder.tokens")
 	e.mBatchPasses = reg.Counter("nn.batch.passes")
 	e.mBatchSeqs = reg.Counter("nn.batch.sequences")
+	e.mBatchTrain = reg.Counter("nn.batch.train_passes")
 	e.hBatchSize = reg.Histogram("nn.batch.size", obs.ExpBuckets(1, 2, 8))
 	e.tokEmb.initNormal(rng, 0.02)
 	e.posEmb.initNormal(rng, 0.02)
@@ -123,6 +143,7 @@ func (e *Encoder) Forward(tokens, segments []int, mask []bool) *Mat {
 	e.mTokens.Add(int64(len(tokens)))
 	e.ws.Reset()
 	e.tokens, e.segments = tokens, segments
+	e.batchTrain = false // packed BatchedBackward is invalid after a single-sequence pass
 	x := e.embedRows(tokens, segments, 0)
 	x = e.embLN.Forward(e.ws, x)
 	return e.encode(x, mask)
@@ -191,6 +212,7 @@ func (e *Encoder) EmbedPrefix(tokens, segments []int) *PrefixCache {
 		panic("nn: prefix exceeds MaxSeqLen")
 	}
 	e.ws.Reset()
+	e.batchTrain = false // clobbers the embedding LayerNorm caches: inference only
 	x := e.embedRows(tokens, segments, 0)
 	return &PrefixCache{X: e.embLN.Forward(e.ws, x).Clone()}
 }
@@ -212,6 +234,7 @@ func (e *Encoder) ForwardWithPrefix(pc *PrefixCache, sufTokens, sufSegments []in
 	e.mTokens.Add(int64(len(sufTokens))) // prefix rows are reused, not re-encoded
 	e.ws.Reset()
 	e.tokens, e.segments = nil, nil // poison Backward: inference only
+	e.batchTrain = false
 	d := e.Cfg.Dim
 	x := e.ws.Get(seq, d)
 	if len(sufTokens) > 0 {

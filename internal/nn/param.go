@@ -133,13 +133,25 @@ func (ps *Params) ZeroGrad() {
 // Snapshot copies all weights; Restore writes them back. Used for dev-set
 // checkpoint selection ("lowest dev MSE" / "highest dev NDCG@10").
 func (ps *Params) Snapshot() [][]float64 {
-	out := make([][]float64, len(ps.list))
-	for i, p := range ps.list {
-		w := make([]float64, len(p.W))
-		copy(w, p.W)
-		out[i] = w
+	return ps.SnapshotInto(nil)
+}
+
+// SnapshotInto copies all weights into dst, reusing its storage when the
+// shapes match (the steady state of checkpointing loops, which overwrite one
+// persistent best-snapshot buffer on every improving epoch instead of
+// allocating a fresh copy). A nil or mismatched dst is (re)allocated. Returns
+// the snapshot, which is dst when storage was reused.
+func (ps *Params) SnapshotInto(dst [][]float64) [][]float64 {
+	if len(dst) != len(ps.list) {
+		dst = make([][]float64, len(ps.list))
 	}
-	return out
+	for i, p := range ps.list {
+		if len(dst[i]) != len(p.W) {
+			dst[i] = make([]float64, len(p.W))
+		}
+		copy(dst[i], p.W)
+	}
+	return dst
 }
 
 // Restore writes a snapshot produced by Snapshot back into the parameters.

@@ -18,6 +18,14 @@
 #       intra-op pool, so on a single-core machine the comparison is skipped
 #       with an explicit marker, like BENCH_parallel.json.
 #
+#   BENCH_train.json    — end-to-end training (pretrain + finetune, short
+#       schedule) through the replica-per-sample path vs the packed batched
+#       training path (TrainBatch chunks + intra-op GEMM parallelism), at
+#       workers=1 and workers=N. Trained weights are bit-identical either way
+#       (TestTrainBatchedParity); like BENCH_batch.json the packed win needs
+#       the intra-op pool, so on a single-core machine the comparison is
+#       skipped with an explicit marker.
+#
 #   BENCH_parallel.json — wall-clock effect of data-parallelism on the two
 #       heaviest benchmarks at workers=1 vs workers=N (default: one per CPU;
 #       override with `bench.sh <N>`). On a single-core machine (or N<=1) the
@@ -139,6 +147,52 @@ else
 }
 EOF
     echo "wrote $BOUT"
+fi
+
+# ------------------------------------------------------------------ train ----
+
+TOUT=BENCH_train.json
+
+if [ "$CORES" -le 1 ] || [ "$N" -le 1 ]; then
+    echo "== batched training benchmark: skipped (cores=$CORES, N=$N) =="
+    cat > "$TOUT" <<EOF
+{
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "cores": $CORES,
+  "skipped": true,
+  "note": "Replica-vs-packed training comparison skipped: the packed path's advantage comes from fanning layer-wide forward/backward GEMMs across the intra-op worker pool, so on a single-core machine (or N<=1) the measurement would be bookkeeping noise, not speedup. Trained weights are bit-identical either way (TestTrainBatchedParity). Re-run scripts/bench.sh on a multi-core machine to populate it."
+}
+EOF
+    echo "wrote $TOUT (skipped marker)"
+else
+    echo "== batched training benchmark: replica-per-sample vs packed batch =="
+    trows=""
+    for w in 1 "$N"; do
+        echo "-- BenchmarkTrainReplica (workers=$w)"
+        rep_ns=$(REPRO_WORKERS=$w bench_ns ./internal/core BenchmarkTrainReplica 3x)
+        echo "   ${rep_ns} ns/op"
+        echo "-- BenchmarkTrainBatched (TrainBatch=8, workers=$w)"
+        pack_ns=$(REPRO_WORKERS=$w bench_ns ./internal/core BenchmarkTrainBatched 3x)
+        echo "   ${pack_ns} ns/op"
+        tspeedup=$(awk -v a="$rep_ns" -v b="$pack_ns" 'BEGIN { printf "%.2f", a/b }')
+        echo "   speedup ${tspeedup}x"
+        trows="$trows    {\"workers\": $w, \"ns_per_op_replica\": $rep_ns, \"ns_per_op_batched\": $pack_ns, \"speedup\": $tspeedup},\n"
+    done
+    trows=$(printf '%b' "$trows" | sed '$ s/,$//')
+
+    cat > "$TOUT" <<EOF
+{
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "cores": $CORES,
+  "skipped": false,
+  "train_batch": 8,
+  "note": "Same seed and schedule; trained weights, dev curves and TrainReport are bit-identical across paths, batch sizes and worker counts (TestTrainBatchedParity), so the ratio is pure packing + intra-op scheduling speedup.",
+  "training": [
+$trows
+  ]
+}
+EOF
+    echo "wrote $TOUT"
 fi
 
 # --------------------------------------------------------------- parallel ----

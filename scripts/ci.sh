@@ -27,9 +27,11 @@ echo "== go test -race (concurrency packages) =="
 go test -race ./internal/obs ./internal/parallel ./internal/dataset ./internal/nn ./internal/core ./internal/experiments
 
 echo "== go test -race (batched + intra-op parallel paths) =="
-# The batched parity tests sweep nn.SetIntraOp worker counts, so this run
-# drives the row-partitioned GEMM fan-out and the packed batched passes under
-# the race detector explicitly.
+# The batched parity tests (inference and training — the 'Batched' pattern
+# matches TestBatchedTrainStepMatchesReplicaPath and TestTrainBatchedParity)
+# sweep nn.SetIntraOp worker counts, so this run drives the row-partitioned
+# GEMM fan-out and the packed batched passes under the race detector
+# explicitly.
 go test -race ./internal/nn -run 'Batched|ParKernels|ForEachRows'
 go test -race ./internal/core -run 'Batched'
 
@@ -60,6 +62,14 @@ if ! echo "$alloc_out" | grep -q -- '--- PASS: TestBatchedStepZeroAllocs'; then
     echo "TestBatchedStepZeroAllocs did not pass (skipped?)" >&2
     exit 1
 fi
+# And the training sibling: a warmed packed train step (batched forward +
+# head fills + batched backward) must also run at 0 allocs/op.
+alloc_out=$(go test ./internal/nn -run '^TestBatchedTrainStepZeroAllocs$' -v)
+echo "$alloc_out" | tail -n 3
+if ! echo "$alloc_out" | grep -q -- '--- PASS: TestBatchedTrainStepZeroAllocs'; then
+    echo "TestBatchedTrainStepZeroAllocs did not pass (skipped?)" >&2
+    exit 1
+fi
 
 echo "== end-to-end run manifest =="
 # Tiny full pipeline (corpus -> train -> eval) with the observability stack on:
@@ -68,13 +78,16 @@ echo "== end-to-end run manifest =="
 manifest_dir=$(mktemp -d)
 trap 'rm -rf "$manifest_dir"' EXIT
 # -rank-batch 8 routes evaluation ranking through the packed batched encoder
-# path, so the manifest must show live nn.batch.* metrics — asserted below via
-# REPRO_MANIFEST_EXPECT_METRICS.
-go run ./cmd/tune -queries 16 -cases 2 -epochs 1 -samples 40 -pretrain=false \
-    -dim 8 -layers 1 -workers 2 -rank-batch 8 \
+# path and -train-batch 8 routes the (small, one-epoch) pre-training and
+# fine-tuning schedules through the packed batched training path, so the
+# manifest must show live nn.batch.* and core.pretrain.* metrics — asserted
+# below via REPRO_MANIFEST_EXPECT_METRICS.
+go run ./cmd/tune -queries 16 -cases 2 -epochs 1 -samples 40 \
+    -pepochs 1 -ppairs 16 \
+    -dim 8 -layers 1 -workers 2 -rank-batch 8 -train-batch 8 \
     -metrics-out "$manifest_dir/run.json" -trace -quiet 2>/dev/null
 REPRO_MANIFEST="$manifest_dir/run.json" \
-    REPRO_MANIFEST_EXPECT_METRICS="nn.batch.,core.rank." \
+    REPRO_MANIFEST_EXPECT_METRICS="nn.batch.,core.rank.,core.pretrain." \
     go test ./internal/obs -run '^TestValidateManifestFile$' -v | tail -n 3
 
 echo "== nn benchmark smoke =="
