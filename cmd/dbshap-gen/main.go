@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/nn"
 	"repro/internal/obs"
 )
 
@@ -26,8 +27,12 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building (0 = one per CPU); output is identical for every value")
 	rankBatch := flag.Int("rank-batch", 0, "accepted for CLI uniformity with the ranking commands; corpus generation performs no ranking, so the value is only recorded in the run manifest")
 	trainBatch := flag.Int("train-batch", 0, "accepted for CLI uniformity with the training commands; corpus generation performs no training, so the value is only recorded in the run manifest")
+	precision := flag.String("precision", "f64", "accepted for CLI uniformity with the ranking commands; corpus generation performs no inference, so the value is only validated and recorded in the run manifest")
 	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := nn.ParsePrecision(*precision); err != nil {
+		log.Fatal(err)
+	}
 
 	rn := o.Start("dbshap-gen")
 	defer finish(rn)
@@ -39,6 +44,7 @@ func main() {
 	rn.SetConfig("workers", *workers)
 	rn.SetConfig("rank_batch", *rankBatch)
 	rn.SetConfig("train_batch", *trainBatch)
+	rn.SetConfig("precision", *precision)
 
 	kinds := []dataset.Kind{dataset.IMDB, dataset.Academic}
 	switch *kindFlag {

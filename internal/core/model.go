@@ -81,6 +81,17 @@ type ModelConfig struct {
 	// 0 keeps the replica-per-sample path. Trained weights, dev curves and the
 	// TrainReport are bit-identical either way (see train_batched.go).
 	TrainBatch int
+	// Precision selects the arithmetic tier ranking inference runs on: "" or
+	// "f64" is the float64 reference engine; "f32" scores through a float32
+	// mirror of the encoder; "int8" additionally quantizes every Linear weight
+	// matrix to int8 with per-output-channel scales (see internal/nn and
+	// DESIGN.md "Kernel tiers & precision"). Training and dev-set checkpoint
+	// selection always run the f64 reference tier regardless of this field —
+	// Train clears it for the duration of training and stamps it on the
+	// returned model — so trained weights stay bit-identical across precision
+	// settings. The reduced tiers are gated on ranking agreement with the f64
+	// ranker (NDCG@k, Spearman), not bitwise equality.
+	Precision string
 }
 
 // BaseConfig is LearnShapley-base at bench scale.
@@ -159,6 +170,14 @@ type Model struct {
 	// tokens between Pack and the encoder's BatchedStep (train_batched.go).
 	trainToks, trainSegs [][]int
 	trainMasks           [][]bool
+
+	// Low-precision inference engines, built lazily on the first ranked
+	// lineage when Cfg.Precision selects a reduced tier (precision.go). The
+	// engines snapshot the f64 master weights at build time, so they are
+	// inference-only: weights must not change once a reduced-tier RankOn has
+	// run (training always builds a fresh Model, so this holds in practice).
+	enc32  *nn.Encoder32
+	head32 *nn.Head32
 }
 
 // NumWeights reports the total scalar parameter count.
@@ -268,9 +287,21 @@ func (m *Model) Rank(in Input) shapley.Values {
 // only transferable signal. The implementation encodes the shared
 // [CLS] q [SEP] t [SEP] prefix once per lineage and reuses it across facts
 // (see prefix.go); with Cfg.RankBatch > 1 the facts are additionally packed
-// into batched encoder passes (see batch.go). Scores are bit-identical to
-// independent per-fact passes in every configuration.
+// into batched encoder passes (see batch.go). On the f64 tier scores are
+// bit-identical to independent per-fact passes in every configuration; with
+// Cfg.Precision set to a reduced tier the same prefix/batched structure runs
+// on the f32 or int8 engine instead (see precision.go).
 func (m *Model) RankOn(db *relation.Database, in Input) shapley.Values {
+	prec, err := nn.ParsePrecision(m.Cfg.Precision)
+	if err != nil {
+		// Precision strings are validated at every construction boundary
+		// (Train, LoadModel, flag parsing); an invalid one reaching RankOn is
+		// a programming error, not an input error.
+		panic(err)
+	}
+	if prec != nn.PrecisionF64 {
+		return m.rankOnLowPrec(db, in, prec)
+	}
 	if m.Cfg.RankBatch > 1 {
 		return m.rankOnBatched(db, in)
 	}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/shapley"
+	"repro/internal/tokenizer"
+)
+
+// Low-precision ranking: with ModelConfig.Precision set to "f32" or "int8",
+// RankOn scores lineages through the reduced-precision inference engine
+// (nn.Encoder32 / nn.Head32) instead of the f64 reference encoder. The
+// structure mirrors the f64 rankers exactly — shared-prefix reuse per lineage
+// (prefix.go), packed batched passes when Cfg.RankBatch > 1 (batch.go), and a
+// padded full-length pass for facts the truncation rule excludes from prefix
+// reuse. Eligibility is decided by the same lineageScorer.eligibleFactLen in
+// all tiers, so every tier takes the fast path and the fallback on exactly the
+// same facts; only the arithmetic differs.
+//
+// There is no bit-identity contract against the f64 ranker. The reduced tiers
+// are gated on ranking agreement — NDCG@k and Spearman over the golden corpus
+// (precision_test.go, ci.sh) — which is the serving-quality bar the
+// approximate-attribution literature uses. Within a tier, the prefix and
+// batched paths ARE bit-identical to that tier's own full forward (enforced in
+// internal/nn), so RankBatch remains a pure layout choice at every precision.
+
+// lowPrecEngine returns the model's reduced-precision engines, building them
+// from the f64 master weights on first use (or when the requested tier
+// changes). The engines snapshot weights at build time; see the Model field
+// comment for the inference-only contract.
+func (m *Model) lowPrecEngine(prec nn.Precision) (*nn.Encoder32, *nn.Head32) {
+	if m.enc32 == nil || m.enc32.Prec != prec {
+		done := obs.Span("core.precision.build:" + prec.String())
+		m.enc32 = nn.NewEncoder32(m.enc, prec)
+		m.head32 = nn.NewHead32(m.shapHead, prec)
+		done()
+	}
+	return m.enc32, m.head32
+}
+
+// lowPrecScorer wraps a lineageScorer with a reduced-precision engine: the
+// embedded scorer owns tokenization, truncation eligibility and the obs
+// counters; this type owns the PrefixCache32 and the per-fact suffix buffers.
+type lowPrecScorer struct {
+	s    *lineageScorer
+	enc  *nn.Encoder32
+	head *nn.Head32
+	pc   *nn.PrefixCache32
+
+	suf, sufSeg []int
+	mask        []bool
+}
+
+func newLowPrecScorer(m *Model, in Input, prec nn.Precision) *lowPrecScorer {
+	enc, head := m.lowPrecEngine(prec)
+	return &lowPrecScorer{s: newLineageScorer(m, in), enc: enc, head: head}
+}
+
+// buildPrefix embeds the shared [CLS] q [SEP] t [SEP] prefix through the
+// reduced-precision embedding tables once per lineage.
+func (lp *lowPrecScorer) buildPrefix() {
+	tokens, segs := lp.s.prefixTokens()
+	lp.pc = lp.enc.EmbedPrefix(tokens, segs)
+	lp.s.prefixLen = len(tokens)
+}
+
+// predictFull is the tier's fallback path: a padded full-length forward for a
+// fact whose truncated packing would reshape the shared prefix — the same
+// sequence Model.predictShapley runs, on the reduced engine.
+func (lp *lowPrecScorer) predictFull(fToks []string) float64 {
+	m := lp.s.m
+	p := m.tok.Pack(m.Cfg.MaxSeqLen, 3, lp.s.qToks, lp.s.tToks, fToks)
+	hidden := lp.enc.Forward(p.Tokens, p.Segments, p.Mask)
+	return lp.head.Forward(hidden) / m.Cfg.TargetScale
+}
+
+// score predicts the (unscaled) Shapley value of one fact, mirroring
+// lineageScorer.score on the reduced engine.
+func (lp *lowPrecScorer) score(fToks []string) float64 {
+	s := lp.s
+	fLen, ok := s.eligibleFactLen(fToks)
+	if !ok {
+		s.mFallbacks.Add(1)
+		return lp.predictFull(fToks)
+	}
+	s.mHits.Add(1)
+	if lp.pc == nil {
+		lp.buildPrefix()
+	}
+	lp.suf, lp.sufSeg = appendFactSuffix(lp.suf[:0], lp.sufSeg[:0], s.m.tok, fToks, fLen)
+	seq := s.prefixLen + len(lp.suf)
+	if cap(lp.mask) < seq {
+		lp.mask = make([]bool, seq)
+		for i := range lp.mask {
+			lp.mask[i] = true
+		}
+	}
+	lp.mask = lp.mask[:seq]
+	hidden := lp.enc.ForwardWithPrefix(lp.pc, lp.suf, lp.sufSeg, lp.mask)
+	return lp.head.Forward(hidden) / s.m.Cfg.TargetScale
+}
+
+// appendFactSuffix encodes a (possibly trimmed) fact token sequence plus the
+// trailing [SEP] as segment-2 suffix ids, appending into the given buffers.
+func appendFactSuffix(suf, seg []int, tok *tokenizer.Tokenizer, fToks []string, fLen int) ([]int, []int) {
+	for _, id := range tok.Encode(fToks[:fLen]) {
+		suf = append(suf, id)
+		seg = append(seg, 2)
+	}
+	suf = append(suf, tokenizer.SepID)
+	seg = append(seg, 2)
+	return suf, seg
+}
+
+// rankOnLowPrec is the reduced-precision implementation behind Model.RankOn.
+// With Cfg.RankBatch > 1 it packs fast-path facts into batched encoder passes,
+// exactly like the f64 batched ranker.
+func (m *Model) rankOnLowPrec(db *relation.Database, in Input, prec nn.Precision) shapley.Values {
+	lp := newLowPrecScorer(m, in, prec)
+	if reg := obs.Metrics(); reg != nil {
+		reg.Counter("core.rank.lineages").Add(1)
+		reg.Counter("core.rank.facts").Add(int64(len(in.Lineage)))
+	}
+	out := make(shapley.Values, len(in.Lineage))
+	if m.Cfg.RankBatch > 1 {
+		return m.rankOnLowPrecBatched(db, in, lp, out)
+	}
+	for _, id := range in.Lineage {
+		f := db.Fact(id)
+		if f == nil {
+			out[id] = 0
+			continue
+		}
+		out[id] = lp.score(m.tokensForFact(db, id, f))
+	}
+	return out
+}
+
+// rankBatcher32 mirrors rankBatcher for the reduced tiers: it accumulates
+// fast-path facts and flushes them through BatchedForwardWithPrefix on the
+// Mat32 engine. Slot buffers are reused across chunks.
+type rankBatcher32 struct {
+	lp  *lowPrecScorer
+	out shapley.Values
+
+	ids      []relation.FactID
+	sufs     [][]int
+	sufSegs  [][]int
+	masks    [][]bool
+	trueMask []bool
+	n        int
+}
+
+func newRankBatcher32(lp *lowPrecScorer, out shapley.Values) *rankBatcher32 {
+	b := &rankBatcher32{lp: lp, out: out, trueMask: make([]bool, lp.s.m.Cfg.MaxSeqLen)}
+	for i := range b.trueMask {
+		b.trueMask[i] = true
+	}
+	return b
+}
+
+func (b *rankBatcher32) add(id relation.FactID, fToks []string, fLen int) {
+	if b.n == len(b.ids) {
+		b.ids = append(b.ids, 0)
+		b.sufs = append(b.sufs, nil)
+		b.sufSegs = append(b.sufSegs, nil)
+		b.masks = append(b.masks, nil)
+	}
+	b.ids[b.n] = id
+	b.sufs[b.n], b.sufSegs[b.n] = appendFactSuffix(
+		b.sufs[b.n][:0], b.sufSegs[b.n][:0], b.lp.s.m.tok, fToks, fLen)
+	b.masks[b.n] = b.trueMask[:b.lp.s.prefixLen+len(b.sufs[b.n])]
+	b.n++
+	if b.n == b.lp.s.m.Cfg.RankBatch {
+		b.flush()
+	}
+}
+
+func (b *rankBatcher32) flush() {
+	if b.n == 0 {
+		return
+	}
+	lp := b.lp
+	hidden, offs := lp.enc.BatchedForwardWithPrefix(lp.pc, b.sufs[:b.n], b.sufSegs[:b.n], b.masks[:b.n])
+	scale := lp.s.m.Cfg.TargetScale
+	for i := 0; i < b.n; i++ {
+		b.out[b.ids[i]] = lp.head.ForwardAt(hidden, offs[i]) / scale
+	}
+	b.n = 0
+}
+
+// rankOnLowPrecBatched is the RankBatch > 1 arm of rankOnLowPrec.
+func (m *Model) rankOnLowPrecBatched(db *relation.Database, in Input, lp *lowPrecScorer, out shapley.Values) shapley.Values {
+	s := lp.s
+	b := newRankBatcher32(lp, out)
+	for _, id := range in.Lineage {
+		f := db.Fact(id)
+		if f == nil {
+			out[id] = 0
+			continue
+		}
+		fToks := m.tokensForFact(db, id, f)
+		fLen, ok := s.eligibleFactLen(fToks)
+		if !ok {
+			s.mFallbacks.Add(1)
+			// The fallback pass resets the reduced engine's workspace, but the
+			// queued chunk holds only token slices, so interleaving is safe —
+			// same argument as the f64 batcher.
+			out[id] = lp.predictFull(fToks)
+			continue
+		}
+		s.mHits.Add(1)
+		if lp.pc == nil {
+			lp.buildPrefix()
+		}
+		b.add(id, fToks, fLen)
+	}
+	b.flush()
+	return out
+}

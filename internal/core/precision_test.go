@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/shapley"
+)
+
+// parityFix trains one small model over the golden corpus, shared by the
+// precision-parity tests (training once keeps the non-skippable ci.sh gate
+// cheap). The trained model separates fact scores far better than random
+// initialization, so the parity thresholds actually measure ranking agreement
+// rather than noise ordering.
+var parityFix struct {
+	sync.Once
+	m   *Model
+	ins []Input
+	err error
+}
+
+func trainedParityModel(t *testing.T) (*Model, []Input) {
+	t.Helper()
+	parityFix.Do(func() {
+		dc := dataset.DefaultConfig(dataset.IMDB)
+		dc.NumQueries = 14
+		dc.MaxCasesPerQuery = 5
+		c, err := dataset.Build(dc)
+		if err != nil {
+			parityFix.err = err
+			return
+		}
+		sims := dataset.NewSimilarityCache(c)
+		cfg := tinyConfig()
+		cfg.PretrainEpochs, cfg.FinetuneEpochs = 1, 1
+		cfg.PretrainPairsPerEpoch, cfg.FinetuneSamplesPerEpoch = 30, 150
+		m, _, err := Train(c, sims, cfg, nil)
+		if err != nil {
+			parityFix.err = err
+			return
+		}
+		parityFix.m = m
+		parityFix.ins = caseInputs(c)
+	})
+	if parityFix.err != nil {
+		t.Fatal(parityFix.err)
+	}
+	if parityFix.m == nil {
+		t.Fatal("parity fixture corpus failed to build")
+	}
+	return parityFix.m, parityFix.ins
+}
+
+// alignedScores flattens two score maps over the sorted shared key set, so
+// correlation statistics compare fact-for-fact.
+func alignedScores(a, b shapley.Values) (xs, ys []float64) {
+	ids := make([]int, 0, len(a))
+	for id := range a {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		xs = append(xs, a[relation.FactID(id)])
+		ys = append(ys, b[relation.FactID(id)])
+	}
+	return xs, ys
+}
+
+// TestPrecisionParityGolden is the tolerance parity gate of the reduced
+// precision tiers (non-skippable in ci.sh): ranking every golden-corpus case
+// through the f32 and int8 engines must agree with the f64 ranker at
+// NDCG@10 >= 0.99 (f64 scores as graded relevance) and mean Spearman >= 0.99
+// over the per-lineage score vectors. This is deliberately NOT a bitwise
+// gate — the tiers trade bits for speed — but it pins the serving-quality
+// bar: the reduced engines must order facts like the reference.
+func TestPrecisionParityGolden(t *testing.T) {
+	m, ins := trainedParityModel(t)
+	defer func() { m.Cfg.Precision = "" }()
+	m.Cfg.Precision = ""
+	want := make([]shapley.Values, len(ins))
+	for i, in := range ins {
+		want[i] = m.RankOn(m.db(), in)
+	}
+	for _, prec := range []string{"f32", "int8"} {
+		m.Cfg.Precision = prec
+		var ndcgs, rhos []float64
+		for i, in := range ins {
+			got := m.RankOn(m.db(), in)
+			if len(got) != len(want[i]) {
+				t.Fatalf("%s: scored %d facts, want %d", prec, len(got), len(want[i]))
+			}
+			ndcgs = append(ndcgs, metrics.NDCGAtK(got, want[i], 10))
+			if len(got) >= 2 {
+				xs, ys := alignedScores(want[i], got)
+				rhos = append(rhos, metrics.Spearman(xs, ys))
+			}
+		}
+		ndcg, rho := metrics.Mean(ndcgs), metrics.Mean(rhos)
+		t.Logf("%s vs f64: NDCG@10 %.5f, Spearman %.5f over %d lineages", prec, ndcg, rho, len(ndcgs))
+		if ndcg < 0.99 {
+			t.Errorf("%s: NDCG@10 vs f64 = %.5f, parity gate requires >= 0.99", prec, ndcg)
+		}
+		if rho < 0.99 {
+			t.Errorf("%s: mean Spearman vs f64 = %.5f, parity gate requires >= 0.99", prec, rho)
+		}
+	}
+}
+
+// TestRankOnLowPrecBatchedMatchesPerFact pins tier-internal bit-identity:
+// within the f32 or int8 tier, RankOn must return bit-identical scores for
+// every RankBatch value and intra-op worker count, exactly like the f64
+// ranker. RankBatch stays a pure layout choice at every precision.
+func TestRankOnLowPrecBatchedMatchesPerFact(t *testing.T) {
+	t.Cleanup(func() { nn.SetIntraOp(1, 0) })
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	tok := buildVocabulary(c, cfg)
+	m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+	m.trainDB = c.DB
+	ins := caseInputs(c)
+	if len(ins) == 0 {
+		t.Fatal("corpus has no labeled cases")
+	}
+	for _, prec := range []string{"f32", "int8"} {
+		m.Cfg.Precision = prec
+		m.Cfg.RankBatch = 0
+		want := make([]shapley.Values, len(ins))
+		for i, in := range ins {
+			want[i] = m.RankOn(c.DB, in)
+		}
+		for _, workers := range []int{1, 2, 3} {
+			nn.SetIntraOp(workers, 8)
+			for _, batch := range []int{2, 3, 8, 64} {
+				m.Cfg.RankBatch = batch
+				for i, in := range ins {
+					assertValuesBitEqual(t, prec+"/batched", m.RankOn(c.DB, in), want[i])
+				}
+			}
+		}
+		nn.SetIntraOp(1, 0)
+		m.Cfg.RankBatch = 0
+	}
+	m.Cfg.Precision = ""
+}
+
+// TestLowPrecCounterAgreement verifies the reduced tiers classify facts
+// through the same eligibility rule as the f64 ranker: under a tight sequence
+// budget the prefix hit/fallback counters must agree exactly across all three
+// tiers and both batching modes, and both classes must be non-empty.
+func TestLowPrecCounterAgreement(t *testing.T) {
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	cfg.MaxSeqLen = 44 // tight enough that some facts fall back, some don't
+	tok := buildVocabulary(c, cfg)
+	ins := caseInputs(c)
+
+	rank := func(precision string, rankBatch int) obs.Snapshot {
+		run := obs.NewRun("precision-counter-test", obs.NewRegistry(), nil, nil)
+		obs.Install(run)
+		defer obs.Uninstall()
+		cfg.Precision = precision
+		cfg.RankBatch = rankBatch
+		m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+		m.trainDB = c.DB
+		for _, in := range ins {
+			m.RankOn(c.DB, in)
+		}
+		return run.Reg.Snapshot()
+	}
+
+	ref := rank("", 0)
+	hits := ref.Counters["core.rank.prefix_hits"]
+	falls := ref.Counters["core.rank.prefix_fallbacks"]
+	if hits == 0 || falls == 0 {
+		t.Fatalf("fixture must exercise both paths: hits=%d fallbacks=%d", hits, falls)
+	}
+	for _, prec := range []string{"f32", "int8"} {
+		for _, batch := range []int{0, 3} {
+			snap := rank(prec, batch)
+			for _, name := range []string{
+				"core.rank.lineages", "core.rank.facts",
+				"core.rank.prefix_hits", "core.rank.prefix_fallbacks",
+			} {
+				if snap.Counters[name] != ref.Counters[name] {
+					t.Errorf("%s batch=%d counter %s: %d, f64 reference %d",
+						prec, batch, name, snap.Counters[name], ref.Counters[name])
+				}
+			}
+		}
+	}
+}
+
+// TestPrecisionCheckpointRoundTrip pins the cross-tier persistence contract:
+// checkpoints always hold the f64 master weights, so a model saved while
+// configured for one precision tier loads cleanly into any other — same
+// weights bit-for-bit (Snapshot/SnapshotInto), same scores on every tier.
+func TestPrecisionCheckpointRoundTrip(t *testing.T) {
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	cfg.Precision = "int8"
+	tok := buildVocabulary(c, cfg)
+	m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+	m.trainDB = c.DB
+	ins := caseInputs(c)
+	in := ins[0]
+
+	// Rank once on the int8 tier before saving, so the save happens on a model
+	// whose low-precision engine is already built — the engine must not leak
+	// into (or corrupt) the payload.
+	wantInt8 := m.RankOn(c.DB, in)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()), c.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg.Precision != "int8" {
+		t.Fatalf("loaded precision %q, want int8", loaded.Cfg.Precision)
+	}
+
+	// The f64 master weights survive the round trip bit-for-bit regardless of
+	// the configured tier.
+	orig := m.params.Snapshot()
+	var back [][]float64
+	back = loaded.params.SnapshotInto(back)
+	if len(orig) != len(back) {
+		t.Fatalf("tensor count %d vs %d after round trip", len(back), len(orig))
+	}
+	for i := range orig {
+		for j := range orig[i] {
+			if math.Float64bits(orig[i][j]) != math.Float64bits(back[i][j]) {
+				t.Fatalf("tensor %d weight %d differs after round trip", i, j)
+			}
+		}
+	}
+
+	// Saved-on-int8 scores identically on int8 after loading...
+	assertValuesBitEqual(t, "loaded int8", loaded.RankOn(c.DB, in), wantInt8)
+	// ...and switches cleanly to any other tier, matching the original model
+	// reconfigured the same way.
+	for _, prec := range []string{"", "f64", "f32"} {
+		m.Cfg.Precision, loaded.Cfg.Precision = prec, prec
+		assertValuesBitEqual(t, "loaded "+prec, loaded.RankOn(c.DB, in), m.RankOn(c.DB, in))
+	}
+}
+
+// TestLoadModelRejectsUnknownPrecision pins the clear-error contract: a
+// checkpoint carrying a precision tier this build does not know must fail at
+// load time with an error naming the tier — not panic at the first RankOn and
+// not silently score through the wrong engine.
+func TestLoadModelRejectsUnknownPrecision(t *testing.T) {
+	c, _ := tinyCorpus(t)
+	cfg := tinyConfig()
+	cfg.Precision = "bf16" // plausible future tier, unknown to this build
+	tok := buildVocabulary(c, cfg)
+	m := newModel(cfg, tok, rand.New(rand.NewSource(cfg.Seed)))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadModel(bytes.NewReader(buf.Bytes()), c.DB)
+	if err == nil {
+		t.Fatal("expected error for unknown precision tier")
+	}
+	if !strings.Contains(err.Error(), "bf16") || !strings.Contains(err.Error(), "precision") {
+		t.Fatalf("error %q does not name the unknown precision tier", err)
+	}
+}

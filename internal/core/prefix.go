@@ -65,11 +65,13 @@ func newLineageScorer(m *Model, in Input) *lineageScorer {
 	return s
 }
 
-// buildPrefix encodes [CLS] q [SEP] t [SEP] through the embedding layer once.
-func (s *lineageScorer) buildPrefix() {
+// prefixTokens assembles the [CLS] q [SEP] t [SEP] token IDs and segments the
+// lineage shares across facts. Both the f64 prefix cache (buildPrefix) and the
+// low-precision one (precision.go) embed exactly this sequence.
+func (s *lineageScorer) prefixTokens() (tokens, segs []int) {
 	n := 1 + s.qLen + 1 + s.tLen + 1
-	tokens := make([]int, 0, n)
-	segs := make([]int, 0, n)
+	tokens = make([]int, 0, n)
+	segs = make([]int, 0, n)
 	push := func(id, seg int) {
 		tokens = append(tokens, id)
 		segs = append(segs, seg)
@@ -83,8 +85,14 @@ func (s *lineageScorer) buildPrefix() {
 		push(id, 1)
 	}
 	push(tokenizer.SepID, 1)
+	return tokens, segs
+}
+
+// buildPrefix encodes [CLS] q [SEP] t [SEP] through the embedding layer once.
+func (s *lineageScorer) buildPrefix() {
+	tokens, segs := s.prefixTokens()
 	s.pc = s.m.enc.EmbedPrefix(tokens, segs)
-	s.prefixLen = n
+	s.prefixLen = len(tokens)
 }
 
 // eligibleFactLen decides whether a fact with the given tokens can take the

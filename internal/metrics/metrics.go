@@ -133,6 +133,44 @@ func Pearson(xs, ys []float64) float64 {
 	return sxy / math.Sqrt(sxx*syy)
 }
 
+// Spearman returns the Spearman rank correlation coefficient of two
+// equal-length series: the Pearson correlation of their rank vectors, with
+// ties assigned fractional (average) ranks. Returns 0 when either series is
+// constant or empty. Used by the precision-tier parity gate, where the
+// question is "does the reduced-precision scorer order facts like the f64
+// scorer" — rank correlation, not value agreement.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0
+	}
+	return Pearson(fractionalRanks(xs), fractionalRanks(ys))
+}
+
+// fractionalRanks maps each value to its 1-based rank in ascending order,
+// averaging the ranks of tied values.
+func fractionalRanks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) are tied; average their 1-based ranks.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
 // LinearTrend fits y = a + b·x by least squares and returns the slope b
 // (0 for degenerate input). Used for the trendline of Figure 9a.
 func LinearTrend(xs, ys []float64) float64 {

@@ -166,3 +166,46 @@ func TestMeanAndPercentile(t *testing.T) {
 		t.Error("percentile of empty should be 0")
 	}
 }
+
+func TestSpearman(t *testing.T) {
+	// Any strictly monotone transform has perfect rank correlation.
+	xs := []float64{0.1, 2, 3.5, 7, 11}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x) // monotone, wildly non-linear
+	}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone Spearman = %v, want 1", got)
+	}
+	rev := []float64{11, 7, 3.5, 2, 0.1}
+	if got := Spearman(xs, rev); math.Abs(got+1) > 1e-12 {
+		t.Errorf("reversed Spearman = %v, want -1", got)
+	}
+	if Spearman(nil, nil) != 0 {
+		t.Error("empty Spearman should be 0")
+	}
+	if Spearman([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Error("constant series Spearman should be 0")
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// Tied values take fractional ranks: {1, 2, 2, 3} ranks to {1, 2.5, 2.5, 4}.
+	got := fractionalRanks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fractionalRanks = %v, want %v", got, want)
+		}
+	}
+	// With ties handled by averaging, Spearman stays symmetric and bounded.
+	xs := []float64{1, 2, 2, 3, 0}
+	ys := []float64{2, 4, 4, 9, 1}
+	a, b := Spearman(xs, ys), Spearman(ys, xs)
+	if a != b {
+		t.Errorf("Spearman not symmetric: %v vs %v", a, b)
+	}
+	if math.Abs(a-1) > 1e-12 {
+		t.Errorf("tied monotone Spearman = %v, want 1", a)
+	}
+}

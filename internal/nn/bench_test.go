@@ -107,3 +107,128 @@ func BenchmarkEncoderBatchedTrainStep(b *testing.B) {
 		enc.BatchedStep(toks, segs, masks, fill)
 	}
 }
+
+// benchMatPair builds one m×k · k×n multiplication with ~10% zeros (the
+// sparsity the zero-skip branches see in practice after GELU and padding).
+func benchMatPair(rng *rand.Rand, m, k, n int) (*Mat, *Mat, *Mat) {
+	a := randMatZeros(rng, m, k, 0.1)
+	b := randMatZeros(rng, k, n, 0.1)
+	return a, b, NewMat(m, n)
+}
+
+// BenchmarkMatMulBlocked compares the reference and blocked GEMM tiers at the
+// three shapes every encoder layer actually runs — attention projections
+// (T×d · d×d), the FFN expansion (T×d · d×4d) and its contraction — at both
+// BaseConfig (d=32) and LargeConfig (d=48) widths. These numbers feed
+// BENCH_kernels.json; the blocked tier must win (or tie) at every shape while
+// staying bit-identical (TestBlockedKernelsMatchReference).
+func BenchmarkMatMulBlocked(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	shapes := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"proj_96x32x32", 96, 32, 32},
+		{"ffn_up_96x32x128", 96, 32, 128},
+		{"ffn_down_96x128x32", 96, 128, 32},
+		{"proj_96x48x48", 96, 48, 48},
+		{"ffn_up_96x48x192", 96, 48, 192},
+	}
+	for _, sh := range shapes {
+		a, bm, out := benchMatPair(rng, sh.m, sh.k, sh.n)
+		b.Run("ref/"+sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(a, bm, out)
+			}
+		})
+		b.Run("blocked/"+sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulBlockedInto(a, bm, out)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulTBlocked compares the B-transposed GEMM tiers at the
+// attention-score shape (T×dk · (T×dk)ᵀ) and the weight-gradient consumer
+// shapes.
+func BenchmarkMatMulTBlocked(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	shapes := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"scores_96x8x96", 96, 8, 96},
+		{"head_96x32x96", 96, 32, 96},
+	}
+	for _, sh := range shapes {
+		a := randMatZeros(rng, sh.m, sh.k, 0.1)
+		bt := randMatZeros(rng, sh.n, sh.k, 0.1)
+		out := NewMat(sh.m, sh.n)
+		b.Run("ref/"+sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulTInto(a, bt, out)
+			}
+		})
+		b.Run("blocked/"+sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulTBlockedInto(a, bt, out)
+			}
+		})
+	}
+}
+
+// BenchmarkTMatMulBlocked compares the A-transposed (weight-gradient) GEMM
+// tiers at the Linear backward shapes: (T×d)ᵀ · T×d and the FFN variants.
+func BenchmarkTMatMulBlocked(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	shapes := []struct {
+		name    string
+		m, k, n int // out is k×n, inputs are m×k and m×n
+	}{
+		{"gw_96x32x32", 96, 32, 32},
+		{"gw_ffn_96x32x128", 96, 32, 128},
+	}
+	for _, sh := range shapes {
+		a := randMatZeros(rng, sh.m, sh.k, 0.1)
+		g := randMatZeros(rng, sh.m, sh.n, 0.1)
+		out := NewMat(sh.k, sh.n)
+		b.Run("ref/"+sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TMatMulInto(a, g, out)
+			}
+		})
+		b.Run("blocked/"+sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TMatMulBlockedInto(a, g, out)
+			}
+		})
+	}
+}
+
+// BenchmarkEncoder32Forward measures one low-precision inference pass
+// (forward + head) per tier, against the f64 BenchmarkEncoderForward
+// baseline. Warmed; allocs/op must stay 0.
+func BenchmarkEncoder32Forward(b *testing.B) {
+	enc, head, tokens, segments, mask := benchSetup()
+	for _, prec := range []Precision{PrecisionF32, PrecisionInt8} {
+		e32 := NewEncoder32(enc, prec)
+		h32 := NewHead32(head, prec)
+		for i := 0; i < 2; i++ {
+			h32.Forward(e32.Forward(tokens, segments, mask))
+		}
+		b.Run(prec.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := e32.Forward(tokens, segments, mask)
+				h32.Forward(h)
+			}
+		})
+	}
+}

@@ -1,0 +1,386 @@
+package nn
+
+import "math"
+
+// Encoder32 is the low-precision inference mirror of Encoder (tier B of the
+// kernel stack): the same BERT-style forward pass — token/position/segment
+// embeddings, post-norm attention/FFN blocks — running on float32
+// activations, with weights converted once from the f64 master parameters at
+// engine build. Two weight forms exist behind one engine:
+//
+//   - PrecisionF32: every weight rounded to float32;
+//   - PrecisionInt8: Linear weight matrices (Q/K/V/output projections, FFN,
+//     heads) post-training-quantized to int8 with per-output-channel scales;
+//     embeddings and LayerNorm gains — a tiny fraction of the weights, and
+//     the numerically touchiest — stay float32 (standard weight-only PTQ).
+//
+// The engine is inference-only (no gradients, no optimizer state) and is NOT
+// safe for concurrent use — like Encoder, each worker replica builds its own.
+// It reads the master weights only at construction: training steps after a
+// build are invisible until a new engine is built.
+type Encoder32 struct {
+	Cfg  Config
+	Prec Precision
+
+	tokEmb, posEmb, segEmb []float32
+	embLN                  *layerNorm32
+	layers                 []*encoderLayer32
+	ws                     *workspace32
+
+	batchOffs, batchLens []int
+}
+
+type encoderLayer32 struct {
+	attn *attention32
+	ln1  *layerNorm32
+	ffn  *ffn32
+	ln2  *layerNorm32
+}
+
+type layerNorm32 struct {
+	dim        int
+	gain, bias []float32
+	eps        float32
+}
+
+type attention32 struct {
+	dim, heads, dk int
+	wq, wk, wv, wo *linear32
+}
+
+type ffn32 struct {
+	l1, l2 *linear32
+}
+
+// linear32 is one converted Linear layer: float32 weights, or int8 codes with
+// per-output-channel dequantization scales, plus a float32 bias.
+type linear32 struct {
+	in, out int
+	w       []float32 // f32 tier: [in×out]
+	q       []int8    // int8 tier: [in×out]
+	scales  []float32 // int8 tier: per-output-channel scale
+	b       []float32
+}
+
+func newLinear32(l *Linear, prec Precision) *linear32 {
+	lq := &linear32{in: l.In, out: l.Out, b: f32s(l.B.W)}
+	if prec == PrecisionInt8 {
+		lq.q = make([]int8, len(l.W.W))
+		lq.scales = make([]float32, l.Out)
+		for j := 0; j < l.Out; j++ {
+			lq.scales[j] = quantizeChannel(l.W.W, l.In, l.Out, j, lq.q)
+		}
+		return lq
+	}
+	lq.w = f32s(l.W.W)
+	return lq
+}
+
+// forward computes y = xW + b into ws scratch through the tier's kernel.
+func (l *linear32) forward(ws *workspace32, x *Mat32) *Mat32 {
+	y := ws.get(x.Rows, l.out)
+	if l.q != nil {
+		matMulQ8Into(x, l.q, l.scales, l.in, l.out, y)
+	} else {
+		w := Mat32{Rows: l.in, Cols: l.out, Data: l.w}
+		matMul32Into(x, &w, y)
+	}
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += l.b[j]
+		}
+	}
+	return y
+}
+
+func f32s(w []float64) []float32 {
+	out := make([]float32, len(w))
+	for i, v := range w {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+func newLayerNorm32(ln *LayerNorm) *layerNorm32 {
+	return &layerNorm32{dim: ln.Dim, gain: f32s(ln.Gain.W), bias: f32s(ln.Bias.W), eps: float32(ln.eps)}
+}
+
+// forward normalizes each row of x into ws scratch.
+func (ln *layerNorm32) forward(ws *workspace32, x *Mat32) *Mat32 {
+	out := ws.get(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var mu float32
+		for _, v := range row {
+			mu += v
+		}
+		mu /= float32(len(row))
+		var va float32
+		for _, v := range row {
+			va += (v - mu) * (v - mu)
+		}
+		va /= float32(len(row))
+		iv := float32(1 / math.Sqrt(float64(va+ln.eps)))
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = (v-mu)*iv*ln.gain[j] + ln.bias[j]
+		}
+	}
+	return out
+}
+
+// NewEncoder32 converts a (trained) f64 encoder into a low-precision
+// inference engine. Building with PrecisionF64 is rejected — the f64 tier is
+// the Encoder itself.
+func NewEncoder32(e *Encoder, prec Precision) *Encoder32 {
+	if prec == PrecisionF64 {
+		panic("nn: NewEncoder32 with PrecisionF64; use the f64 Encoder")
+	}
+	e32 := &Encoder32{
+		Cfg:    e.Cfg,
+		Prec:   prec,
+		tokEmb: f32s(e.tokEmb.W),
+		posEmb: f32s(e.posEmb.W),
+		segEmb: f32s(e.segEmb.W),
+		embLN:  newLayerNorm32(e.embLN),
+		ws:     newWorkspace32(),
+	}
+	for _, l := range e.layers {
+		e32.layers = append(e32.layers, &encoderLayer32{
+			attn: &attention32{
+				dim: l.attn.Dim, heads: l.attn.Heads, dk: l.attn.dk,
+				wq: newLinear32(l.attn.Wq, prec),
+				wk: newLinear32(l.attn.Wk, prec),
+				wv: newLinear32(l.attn.Wv, prec),
+				wo: newLinear32(l.attn.Wo, prec),
+			},
+			ln1: newLayerNorm32(l.ln1),
+			ffn: &ffn32{l1: newLinear32(l.ffn.L1, prec), l2: newLinear32(l.ffn.L2, prec)},
+			ln2: newLayerNorm32(l.ln2),
+		})
+	}
+	return e32
+}
+
+// embedRowsAt writes the f32 embedding rows of one sequence into x starting
+// at row rowOff, with position embeddings following posOffset — the same
+// packing primitive as the f64 encoder's.
+func (e *Encoder32) embedRowsAt(x *Mat32, rowOff int, tokens, segments []int, posOffset int) {
+	d := e.Cfg.Dim
+	for i := range tokens {
+		row := x.Row(rowOff + i)
+		tok := e.tokEmb[tokens[i]*d : (tokens[i]+1)*d]
+		pos := e.posEmb[(posOffset+i)*d : (posOffset+i+1)*d]
+		seg := e.segEmb[segments[i]*d : (segments[i]+1)*d]
+		for j := 0; j < d; j++ {
+			row[j] = tok[j] + pos[j] + seg[j]
+		}
+	}
+}
+
+// Forward encodes one sequence; returns the final hidden states [seq×Dim],
+// workspace scratch valid until the engine's next pass.
+func (e *Encoder32) Forward(tokens, segments []int, mask []bool) *Mat32 {
+	if len(tokens) > e.Cfg.MaxSeqLen {
+		panic("nn: sequence exceeds MaxSeqLen")
+	}
+	e.ws.reset()
+	x := e.ws.get(len(tokens), e.Cfg.Dim)
+	e.embedRowsAt(x, 0, tokens, segments, 0)
+	x = e.embLN.forward(e.ws, x)
+	return e.encode(x, mask)
+}
+
+// encode runs the transformer blocks over post-embedding states.
+func (e *Encoder32) encode(x *Mat32, mask []bool) *Mat32 {
+	for _, l := range e.layers {
+		h := l.attn.forward(e.ws, x, mask)
+		h.addInPlace(x)
+		x = l.ln1.forward(e.ws, h)
+		f := l.ffn.l2.forward(e.ws, gelu32(e.ws, l.ffn.l1.forward(e.ws, x)))
+		f.addInPlace(x)
+		x = l.ln2.forward(e.ws, f)
+	}
+	return x
+}
+
+func gelu32(ws *workspace32, x *Mat32) *Mat32 {
+	out := ws.get(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		v64 := float64(v)
+		out.Data[i] = float32(0.5 * v64 * (1 + math.Tanh(geluC*(v64+0.044715*v64*v64*v64))))
+	}
+	return out
+}
+
+// forward computes one sequence's self-attention on the f32 tier.
+func (a *attention32) forward(ws *workspace32, x *Mat32, mask []bool) *Mat32 {
+	q, k, v := a.wq.forward(ws, x), a.wk.forward(ws, x), a.wv.forward(ws, x)
+	concat := ws.get(x.Rows, a.dim)
+	a.heads32(ws, q, k, v, concat, 0, x.Rows, mask)
+	return a.wo.forward(ws, concat)
+}
+
+// heads32 runs the per-head score/softmax/probs·V stage for one sequence
+// occupying rows [ro, ro+seq) of the (possibly packed) q/k/v matrices.
+func (a *attention32) heads32(ws *workspace32, q, k, v, concat *Mat32, ro, seq int, mask []bool) {
+	qv, kv := ws.view(q, ro, seq), ws.view(k, ro, seq)
+	scale := float32(1 / math.Sqrt(float64(a.dk)))
+	for h := 0; h < a.heads; h++ {
+		off := h * a.dk
+		scores := ws.get(seq, seq)
+		attnScoresSoftmax32(qv, kv, off, a.dk, scale, mask, scores)
+		for i := 0; i < seq; i++ {
+			prow := scores.Row(i)
+			crow := concat.Row(ro + i)[off : off+a.dk]
+			for j := 0; j < seq; j++ {
+				p := prow[j]
+				if p == 0 {
+					continue
+				}
+				vj := v.Row(ro + j)[off : off+a.dk]
+				for t := 0; t < a.dk; t++ {
+					crow[t] += p * vj[t]
+				}
+			}
+		}
+	}
+}
+
+// PrefixCache32 holds the embedded, layer-normalized rows of a shared prefix
+// on the f32 tier — the mirror of PrefixCache. Owned by the caller; survives
+// engine passes.
+type PrefixCache32 struct {
+	X *Mat32
+}
+
+// Len returns the number of cached prefix positions.
+func (pc *PrefixCache32) Len() int { return pc.X.Rows }
+
+// EmbedPrefix computes the post-embedding-LayerNorm rows of a shared prefix
+// once, for reuse across ForwardWithPrefix calls.
+func (e *Encoder32) EmbedPrefix(tokens, segments []int) *PrefixCache32 {
+	if len(tokens) > e.Cfg.MaxSeqLen {
+		panic("nn: prefix exceeds MaxSeqLen")
+	}
+	e.ws.reset()
+	x := e.ws.get(len(tokens), e.Cfg.Dim)
+	e.embedRowsAt(x, 0, tokens, segments, 0)
+	n := e.embLN.forward(e.ws, x)
+	out := NewMat32(n.Rows, n.Cols)
+	copy(out.Data, n.Data)
+	return &PrefixCache32{X: out}
+}
+
+// ForwardWithPrefix encodes prefix+suffix, reusing the cached prefix rows —
+// the f32 mirror of the f64 prefix-reuse pass.
+func (e *Encoder32) ForwardWithPrefix(pc *PrefixCache32, sufTokens, sufSegments []int, mask []bool) *Mat32 {
+	p := pc.Len()
+	seq := p + len(sufTokens)
+	if seq > e.Cfg.MaxSeqLen {
+		panic("nn: sequence exceeds MaxSeqLen")
+	}
+	e.ws.reset()
+	d := e.Cfg.Dim
+	x := e.ws.get(seq, d)
+	if len(sufTokens) > 0 {
+		sufX := e.ws.get(len(sufTokens), d)
+		e.embedRowsAt(sufX, 0, sufTokens, sufSegments, p)
+		sufN := e.embLN.forward(e.ws, sufX)
+		copy(x.Data[p*d:], sufN.Data)
+	}
+	copy(x.Data[:p*d], pc.X.Data)
+	return e.encode(x, mask)
+}
+
+// BatchedForwardWithPrefix encodes B sequences sharing the embedded prefix pc
+// in one packed pass — the f32 mirror of the f64 batched prefix path: packed
+// Q/K/V/FFN projections, per-sequence attention on row windows. Returns the
+// packed hidden states and per-sequence row offsets; both are engine scratch
+// valid until the next pass.
+func (e *Encoder32) BatchedForwardWithPrefix(pc *PrefixCache32, sufTokens, sufSegments [][]int, masks [][]bool) (*Mat32, []int) {
+	p := pc.Len()
+	d := e.Cfg.Dim
+	total, sufTotal := 0, 0
+	e.batchOffs, e.batchLens = e.batchOffs[:0], e.batchLens[:0]
+	for b := range sufTokens {
+		seq := p + len(sufTokens[b])
+		if seq > e.Cfg.MaxSeqLen {
+			panic("nn: sequence exceeds MaxSeqLen")
+		}
+		e.batchOffs = append(e.batchOffs, total)
+		e.batchLens = append(e.batchLens, seq)
+		total += seq
+		sufTotal += len(sufTokens[b])
+	}
+	if total == 0 {
+		panic("nn: empty batch")
+	}
+	e.ws.reset()
+	x := e.ws.get(total, d)
+	if sufTotal > 0 {
+		sufX := e.ws.get(sufTotal, d)
+		off := 0
+		for b := range sufTokens {
+			e.embedRowsAt(sufX, off, sufTokens[b], sufSegments[b], p)
+			off += len(sufTokens[b])
+		}
+		sufN := e.embLN.forward(e.ws, sufX)
+		off = 0
+		for b := range sufTokens {
+			n := len(sufTokens[b])
+			copy(x.Data[(e.batchOffs[b]+p)*d:(e.batchOffs[b]+p+n)*d], sufN.Data[off*d:(off+n)*d])
+			off += n
+		}
+	}
+	for b := range sufTokens {
+		copy(x.Data[e.batchOffs[b]*d:(e.batchOffs[b]+p)*d], pc.X.Data)
+	}
+	for _, l := range e.layers {
+		h := l.attn.batchedForward(e.ws, x, e.batchOffs, e.batchLens, masks)
+		h.addInPlace(x)
+		x = l.ln1.forward(e.ws, h)
+		f := l.ffn.l2.forward(e.ws, gelu32(e.ws, l.ffn.l1.forward(e.ws, x)))
+		f.addInPlace(x)
+		x = l.ln2.forward(e.ws, f)
+	}
+	return x, e.batchOffs
+}
+
+// batchedForward computes self-attention over packed sequences: projections
+// on the packed matrix, score/softmax/probs·V per sequence on row windows.
+func (a *attention32) batchedForward(ws *workspace32, x *Mat32, offs, lens []int, masks [][]bool) *Mat32 {
+	q, k, v := a.wq.forward(ws, x), a.wk.forward(ws, x), a.wv.forward(ws, x)
+	concat := ws.get(x.Rows, a.dim)
+	for b := range offs {
+		a.heads32(ws, q, k, v, concat, offs[b], lens[b], masks[b])
+	}
+	return a.wo.forward(ws, concat)
+}
+
+// Head32 is the low-precision mirror of a RegressionHead: the same Dim→1
+// linear readout of one [CLS] row, on the engine's weight form.
+type Head32 struct {
+	lin *linear32
+	ws  *workspace32
+	cls Mat32
+}
+
+// NewHead32 converts a RegressionHead to the given precision tier.
+func NewHead32(h *RegressionHead, prec Precision) *Head32 {
+	if prec == PrecisionF64 {
+		panic("nn: NewHead32 with PrecisionF64; use the f64 RegressionHead")
+	}
+	return &Head32{lin: newLinear32(h.lin, prec), ws: newWorkspace32()}
+}
+
+// ForwardAt returns the scalar prediction from row `row` of hidden.
+func (h *Head32) ForwardAt(hidden *Mat32, row int) float64 {
+	h.ws.reset()
+	h.cls = Mat32{Rows: 1, Cols: hidden.Cols, Data: hidden.Row(row)}
+	return float64(h.lin.forward(h.ws, &h.cls).Data[0])
+}
+
+// Forward returns the scalar prediction from the [CLS] row of hidden.
+func (h *Head32) Forward(hidden *Mat32) float64 { return h.ForwardAt(hidden, 0) }

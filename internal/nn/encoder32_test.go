@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// engine32Fixture builds a small f64 encoder+head and its low-precision
+// mirrors, plus a few token sequences.
+func engine32Fixture(t testing.TB) (*Encoder, *RegressionHead, [][]int, [][]int, [][]bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	ps := &Params{}
+	enc := NewEncoder(Config{
+		VocabSize: 300, MaxSeqLen: 48, Dim: 16, Heads: 2, Layers: 2, FFNHidden: 32, Segments: 3,
+	}, ps, rng)
+	head := NewRegressionHead(ps, "head", 16, rng)
+	var toks, segs [][]int
+	var masks [][]bool
+	for _, seq := range []int{5, 12, 31, 48} {
+		tk := make([]int, seq)
+		sg := make([]int, seq)
+		mk := make([]bool, seq)
+		for i := range tk {
+			tk[i] = rng.Intn(300)
+			sg[i] = i % 3
+			mk[i] = i < seq-seq/8 // padding tail on some sequences
+		}
+		mk[0] = true
+		toks = append(toks, tk)
+		segs = append(segs, sg)
+		masks = append(masks, mk)
+	}
+	return enc, head, toks, segs, masks
+}
+
+// TestEncoder32MatchesF64Within verifies the f32 engine tracks the f64
+// encoder closely (element-wise on the final hidden states) and the int8
+// engine tracks it loosely — the quantitative ranking-parity gate lives in
+// internal/core; this pins the raw numerics at the nn layer.
+func TestEncoder32MatchesF64Within(t *testing.T) {
+	enc, head, toks, segs, masks := engine32Fixture(t)
+	for _, tc := range []struct {
+		prec   Precision
+		maxErr float64
+	}{
+		{PrecisionF32, 1e-4},
+		{PrecisionInt8, 0.3},
+	} {
+		e32 := NewEncoder32(enc, tc.prec)
+		h32 := NewHead32(head, tc.prec)
+		for s := range toks {
+			want := enc.Forward(toks[s], segs[s], masks[s])
+			wantPred := head.Forward(want)
+			got := e32.Forward(toks[s], segs[s], masks[s])
+			if got.Rows != want.Rows || got.Cols != want.Cols {
+				t.Fatalf("%v: hidden shape %dx%d, want %dx%d", tc.prec, got.Rows, got.Cols, want.Rows, want.Cols)
+			}
+			for i := range want.Data {
+				diff := math.Abs(float64(got.Data[i]) - want.Data[i])
+				if diff > tc.maxErr {
+					t.Fatalf("%v: hidden[%d] = %v vs f64 %v (|Δ| %v > %v)",
+						tc.prec, i, got.Data[i], want.Data[i], diff, tc.maxErr)
+				}
+			}
+			gotPred := h32.Forward(got)
+			if diff := math.Abs(gotPred - wantPred); diff > tc.maxErr {
+				t.Fatalf("%v: head prediction %v vs f64 %v (|Δ| %v)", tc.prec, gotPred, wantPred, diff)
+			}
+		}
+	}
+}
+
+// TestEncoder32PrefixPathsMatchForward pins tier-internal consistency: within
+// the f32 (or int8) tier, the prefix-reuse pass and the packed batched pass
+// must produce hidden states bit-identical to the tier's own full Forward —
+// the same structural row-locality argument as the f64 paths, now enforced
+// per tier. (Cross-tier agreement is tolerance-gated, intra-tier agreement is
+// exact.)
+func TestEncoder32PrefixPathsMatchForward(t *testing.T) {
+	enc, _, _, _, _ := engine32Fixture(t)
+	rng := rand.New(rand.NewSource(92))
+	for _, prec := range []Precision{PrecisionF32, PrecisionInt8} {
+		e32 := NewEncoder32(enc, prec)
+		// Shared prefix + several suffixes, all-true masks (the rankers only
+		// use unpadded trimmed sequences on the prefix path).
+		pLen := 9
+		prefix := make([]int, pLen)
+		pSegs := make([]int, pLen)
+		for i := range prefix {
+			prefix[i] = rng.Intn(300)
+			pSegs[i] = i % 2
+		}
+		var sufs, sufSegs [][]int
+		var masks [][]bool
+		var want []*Mat32
+		for _, sufLen := range []int{1, 4, 13, 30} {
+			suf := make([]int, sufLen)
+			ss := make([]int, sufLen)
+			for i := range suf {
+				suf[i] = rng.Intn(300)
+				ss[i] = 2
+			}
+			mask := make([]bool, pLen+sufLen)
+			for i := range mask {
+				mask[i] = true
+			}
+			full := append(append([]int{}, prefix...), suf...)
+			fullSegs := append(append([]int{}, pSegs...), ss...)
+			ref := e32.Forward(full, fullSegs, mask)
+			keep := NewMat32(ref.Rows, ref.Cols)
+			copy(keep.Data, ref.Data)
+			want = append(want, keep)
+			sufs = append(sufs, suf)
+			sufSegs = append(sufSegs, ss)
+			masks = append(masks, mask)
+		}
+		pc := e32.EmbedPrefix(prefix, pSegs)
+		for s := range sufs {
+			got := e32.ForwardWithPrefix(pc, sufs[s], sufSegs[s], masks[s])
+			assertBitEqual32(t, prec.String()+"/prefix", got, want[s])
+		}
+		hidden, offs := e32.BatchedForwardWithPrefix(pc, sufs, sufSegs, masks)
+		for s := range sufs {
+			rows := pLen + len(sufs[s])
+			view := &Mat32{Rows: rows, Cols: hidden.Cols,
+				Data: hidden.Data[offs[s]*hidden.Cols : (offs[s]+rows)*hidden.Cols]}
+			assertBitEqual32(t, prec.String()+"/batched", view, want[s])
+		}
+	}
+}
+
+func assertBitEqual32(t *testing.T, name string, got, want *Mat32) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %v, want %v (bits %x vs %x)",
+				name, i, got.Data[i], want.Data[i],
+				math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// TestQuantizeChannelRoundTrip pins the symmetric per-channel scheme: codes
+// stay within ±127, the largest-magnitude weight of every channel maps to
+// ±127 exactly, dequantization error is bounded by scale/2, and an all-zero
+// channel round-trips to exact zeros with scale 0.
+func TestQuantizeChannelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	in, out := 24, 7
+	w := make([]float64, in*out)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	for k := 0; k < in; k++ {
+		w[k*out+3] = 0 // channel 3 all zero
+	}
+	q := make([]int8, in*out)
+	for j := 0; j < out; j++ {
+		scale := float64(quantizeChannel(w, in, out, j, q))
+		if j == 3 {
+			if scale != 0 {
+				t.Fatalf("zero channel scale = %v, want 0", scale)
+			}
+			for k := 0; k < in; k++ {
+				if q[k*out+3] != 0 {
+					t.Fatalf("zero channel code %d at k=%d", q[k*out+3], k)
+				}
+			}
+			continue
+		}
+		maxAbs, sawFull := 0.0, false
+		for k := 0; k < in; k++ {
+			v := math.Abs(w[k*out+j])
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		for k := 0; k < in; k++ {
+			c := q[k*out+j]
+			if c < -127 || c > 127 {
+				t.Fatalf("code %d out of symmetric range", c)
+			}
+			if c == 127 || c == -127 {
+				sawFull = true
+			}
+			deq := float64(c) * scale
+			// scale/2 covers the rounding of the code; the small absolute
+			// slack covers the f32 rounding of the scale itself.
+			if err := math.Abs(deq - w[k*out+j]); err > scale/2+1e-5 {
+				t.Fatalf("channel %d k %d: dequant error %v > scale/2 (%v)", j, k, err, scale/2)
+			}
+		}
+		if !sawFull {
+			t.Fatalf("channel %d: max-magnitude weight did not map to ±127", j)
+		}
+		if got, want := scale, float64(float32(maxAbs/127)); got != want {
+			t.Fatalf("channel %d scale = %v, want %v", j, got, want)
+		}
+	}
+}
+
+// TestEncoder32ZeroAllocs pins a warmed low-precision pass (full forward,
+// prefix forward and packed batched forward plus head readouts) to zero heap
+// allocations, for both reduced tiers — the same steady-state contract as the
+// f64 engine's.
+func TestEncoder32ZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	enc, head, toks, segs, masks := engine32Fixture(t)
+	for _, prec := range []Precision{PrecisionF32, PrecisionInt8} {
+		e32 := NewEncoder32(enc, prec)
+		h32 := NewHead32(head, prec)
+		pc := e32.EmbedPrefix(toks[0], segs[0])
+		sufs := [][]int{toks[1][:7], toks[1][:4]}
+		sufSegs := [][]int{segs[1][:7], segs[1][:4]}
+		bmasks := make([][]bool, len(sufs))
+		for b := range sufs {
+			m := make([]bool, pc.Len()+len(sufs[b]))
+			for i := range m {
+				m[i] = true
+			}
+			bmasks[b] = m
+		}
+		step := func() {
+			h := e32.Forward(toks[2], segs[2], masks[2])
+			h32.Forward(h)
+			h = e32.ForwardWithPrefix(pc, sufs[0], sufSegs[0], bmasks[0])
+			h32.Forward(h)
+			ph, offs := e32.BatchedForwardWithPrefix(pc, sufs, sufSegs, bmasks)
+			for _, off := range offs {
+				h32.ForwardAt(ph, off)
+			}
+		}
+		step() // warm the arenas
+		step()
+		if allocs := testing.AllocsPerRun(10, step); allocs != 0 {
+			t.Fatalf("%v: warmed low-precision pass allocated %v allocs/op, want 0", prec, allocs)
+		}
+	}
+}

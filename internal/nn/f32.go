@@ -1,0 +1,190 @@
+package nn
+
+import "math"
+
+// float32 substrate of the low-precision inference tier: a dense f32 matrix,
+// a shape-keyed scratch arena mirroring Workspace, and the f32 kernels the
+// Encoder32 forward passes run on. There is no bit-identity contract at this
+// tier — the f32/int8 engines are gated on ranking agreement with the f64
+// ranker (NDCG@k, Spearman), not bitwise equality — so the kernels are free
+// to use the blocked loop structure without preserving any particular
+// accumulation chain.
+
+// Mat32 is a dense row-major float32 matrix.
+type Mat32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMat32 allocates a zero matrix.
+func NewMat32(rows, cols int) *Mat32 {
+	return &Mat32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns a slice aliasing row i.
+func (m *Mat32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// addInPlace adds o to m element-wise.
+func (m *Mat32) addInPlace(o *Mat32) {
+	for i := range m.Data {
+		m.Data[i] += o.Data[i]
+	}
+}
+
+// workspace32 is the f32 mirror of Workspace: a per-engine scratch arena
+// handing out shape-keyed matrices recycled at pass boundaries, so a warmed
+// low-precision pass performs zero heap allocations. Same ownership contract:
+// one engine, no concurrent use, views rewound on Reset.
+type workspace32 struct {
+	free  map[[2]int][]*Mat32
+	taken []*Mat32
+
+	views     []*Mat32
+	viewsUsed int
+}
+
+func newWorkspace32() *workspace32 {
+	return &workspace32{free: make(map[[2]int][]*Mat32)}
+}
+
+// get returns a zeroed rows×cols matrix valid until the next reset.
+func (ws *workspace32) get(rows, cols int) *Mat32 {
+	key := [2]int{rows, cols}
+	if list := ws.free[key]; len(list) > 0 {
+		m := list[len(list)-1]
+		ws.free[key] = list[:len(list)-1]
+		clear(m.Data)
+		ws.taken = append(ws.taken, m)
+		return m
+	}
+	m := NewMat32(rows, cols)
+	ws.taken = append(ws.taken, m)
+	return m
+}
+
+// view returns a header aliasing rows [lo, lo+n) of src; workspace-owned like
+// Workspace.View.
+func (ws *workspace32) view(src *Mat32, lo, n int) *Mat32 {
+	var m *Mat32
+	if ws.viewsUsed < len(ws.views) {
+		m = ws.views[ws.viewsUsed]
+	} else {
+		m = &Mat32{}
+		ws.views = append(ws.views, m)
+	}
+	ws.viewsUsed++
+	m.Rows, m.Cols = n, src.Cols
+	m.Data = src.Data[lo*src.Cols : (lo+n)*src.Cols]
+	return m
+}
+
+// reset recycles every matrix handed out since the previous reset.
+func (ws *workspace32) reset() {
+	for _, m := range ws.taken {
+		key := [2]int{m.Rows, m.Cols}
+		ws.free[key] = append(ws.free[key], m)
+	}
+	ws.taken = ws.taken[:0]
+	for _, v := range ws.views[:ws.viewsUsed] {
+		v.Data = nil
+	}
+	ws.viewsUsed = 0
+}
+
+// matMul32Into computes out = a·b with the register-blocked f32 kernel
+// (fused groups of four k-steps per output-row pass, like the f64 blocked
+// tier). out must be a.Rows×b.Cols; every element is overwritten.
+func matMul32Into(a, b, out *Mat32) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		clear(orow)
+		k := 0
+		for ; k+4 <= len(arow); k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+			for j := range orow {
+				orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < len(arow); k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// matMulQ8Into computes out = a·deq(q) for an int8 weight matrix with
+// per-output-channel scales: accumulation runs in float32 over the raw int8
+// codes (converted per element) and each output column is scaled once after
+// its reduction — the "dequantized accumulation" of the int8 tier. out must
+// be a.Rows×out-channels; every element is overwritten.
+func matMulQ8Into(a *Mat32, q []int8, scales []float32, inDim, outDim int, out *Mat32) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		clear(orow)
+		for k := 0; k < inDim; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			qrow := q[k*outDim : (k+1)*outDim]
+			for j := range orow {
+				orow[j] += av * float32(qrow[j])
+			}
+		}
+		for j := range orow {
+			orow[j] *= scales[j]
+		}
+	}
+}
+
+// attnScoresSoftmax32 is the f32 mirror of AttnScoresSoftmax: one head's
+// masked scaled-dot-product probabilities over the head slice [off, off+dk)
+// of q/k. Masked columns receive probability exactly 0.
+func attnScoresSoftmax32(q, k *Mat32, off, dk int, scale float32, mask []bool, out *Mat32) {
+	seq := q.Rows
+	for i := 0; i < seq; i++ {
+		qi := q.Row(i)[off : off+dk]
+		row := out.Row(i)
+		max := float32(math.Inf(-1))
+		for j := 0; j < seq; j++ {
+			if !mask[j] {
+				row[j] = 0
+				continue
+			}
+			kj := k.Row(j)[off : off+dk]
+			var s float32
+			for t := 0; t < dk; t++ {
+				s += qi[t] * kj[t]
+			}
+			s *= scale
+			row[j] = s
+			if s > max {
+				max = s
+			}
+		}
+		var sum float32
+		for j := 0; j < seq; j++ {
+			if !mask[j] {
+				continue
+			}
+			e := float32(math.Exp(float64(row[j] - max)))
+			row[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := 0; j < seq; j++ {
+			if mask[j] {
+				row[j] *= inv
+			}
+		}
+	}
+}

@@ -60,26 +60,29 @@ func IntraOpMinRows() int { return int(intraOpMinRows.Load()) }
 
 // ParMatMulInto computes out = a·b like MatMulInto, partitioning output rows
 // across the intra-op worker pool when a.Rows meets the configured threshold.
-// Bit-identical to MatMulInto for every worker count.
+// Both paths run the blocked kernel tier (kernels_blocked.go), which is
+// bit-identical to MatMulInto — so results are unchanged for every worker
+// count and every tier.
 func ParMatMulInto(a, b, out *Mat) {
 	w := IntraOpWorkers()
 	if w <= 1 || a.Rows < IntraOpMinRows() {
-		MatMulInto(a, b, out)
+		MatMulBlockedInto(a, b, out)
 		return
 	}
 	checkMatMulShapes(a, b, out)
-	parallel.ForEachRows(w, a.Rows, 0, func(i int) { matMulRow(a, b, out, i) })
+	parallel.ForEachRows(w, a.Rows, 0, func(i int) { matMulRowBlocked(a, b, out, i) })
 }
 
 // ParMatMulTInto computes out = a·bᵀ like MatMulTInto, partitioning output
 // rows across the intra-op worker pool when a.Rows meets the configured
-// threshold. Bit-identical to MatMulTInto for every worker count.
+// threshold. Both paths run the blocked kernel tier, bit-identical to
+// MatMulTInto for every worker count.
 func ParMatMulTInto(a, b, out *Mat) {
 	w := IntraOpWorkers()
 	if w <= 1 || a.Rows < IntraOpMinRows() {
-		MatMulTInto(a, b, out)
+		MatMulTBlockedInto(a, b, out)
 		return
 	}
 	checkMatMulTShapes(a, b, out)
-	parallel.ForEachRows(w, a.Rows, 0, func(i int) { matMulTRow(a, b, out, i) })
+	parallel.ForEachRows(w, a.Rows, 0, func(i int) { matMulTRowBlocked(a, b, out, i) })
 }

@@ -48,7 +48,7 @@ func (l *Linear) Forward(ws *Workspace, x *Mat) *Mat {
 // "accumulator += sample total" chain as a zeroed replica merged afterwards.
 func (l *Linear) Backward(ws *Workspace, grad *Mat) *Mat {
 	gw := ws.Get(l.In, l.Out)
-	TMatMulInto(l.x, grad, gw)
+	TMatMulBlockedInto(l.x, grad, gw)
 	for i, g := range gw.Data {
 		l.W.G[i] += g
 	}
@@ -87,7 +87,7 @@ func (l *Linear) BatchedBackward(ws *Workspace, grad *Mat, offs, lens []int) *Ma
 	for b := range offs {
 		xv := ws.View(l.x, offs[b], lens[b])
 		gv := ws.View(grad, offs[b], lens[b])
-		TMatMulInto(xv, gv, gw)
+		TMatMulBlockedInto(xv, gv, gw)
 		for i, g := range gw.Data {
 			l.W.G[i] += g
 		}

@@ -1,0 +1,98 @@
+package nn
+
+import "fmt"
+
+// Precision selects the arithmetic tier of the inference engine (tier B of
+// the kernel stack, see DESIGN.md "Kernel tiers & precision"). Training and
+// the repo-wide bit-identity guarantees always run in float64; the reduced
+// tiers are inference-only scorers whose parity gate is tolerance-scored
+// (NDCG@k and Spearman against the f64 ranker) rather than bitwise — the
+// license the related approximate-attribution work establishes: the serving
+// quality bar is rank order, not bit precision.
+type Precision uint8
+
+const (
+	// PrecisionF64 is the reference tier: the float64 encoder, bit-identical
+	// across worker counts, batch sizes and kernel tiers.
+	PrecisionF64 Precision = iota
+	// PrecisionF32 runs inference on a float32 mirror of the encoder:
+	// weights are rounded once at engine build, activations stay float32
+	// end to end.
+	PrecisionF32
+	// PrecisionInt8 additionally quantizes every Linear weight matrix to
+	// int8 with per-output-channel scales (post-training, from the f64
+	// master weights); activations and accumulation stay float32 and the
+	// per-channel scale is applied after each output's reduction
+	// ("dequantized accumulation").
+	PrecisionInt8
+)
+
+// String returns the flag spelling of the precision tier.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionF64:
+		return "f64"
+	case PrecisionF32:
+		return "f32"
+	case PrecisionInt8:
+		return "int8"
+	}
+	return fmt.Sprintf("precision(%d)", uint8(p))
+}
+
+// ParsePrecision parses the -precision flag. The empty string means f64 (the
+// default tier); anything else unknown is an error, so a checkpoint or CLI
+// carrying a tier this build does not know fails loudly instead of silently
+// scoring through the wrong engine.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64":
+		return PrecisionF64, nil
+	case "f32":
+		return PrecisionF32, nil
+	case "int8":
+		return PrecisionInt8, nil
+	}
+	return PrecisionF64, fmt.Errorf("nn: unknown precision %q (want f64, f32 or int8)", s)
+}
+
+// quantizeChannel quantizes one output channel (column j of an [in×out]
+// weight matrix) to int8 symmetric per-channel form: scale = max|w| / 127,
+// q = round(w / scale) ∈ [-127, 127]. An all-zero channel gets scale 0 and
+// zero codes (dequantizing to exact zeros).
+func quantizeChannel(w []float64, in, out, j int, q []int8) float32 {
+	maxAbs := 0.0
+	for k := 0; k < in; k++ {
+		v := w[k*out+j]
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		for k := 0; k < in; k++ {
+			q[k*out+j] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / 127
+	for k := 0; k < in; k++ {
+		c := w[k*out+j] / scale
+		// Round half away from zero, clamped to the symmetric int8 range.
+		if c >= 0 {
+			c += 0.5
+		} else {
+			c -= 0.5
+		}
+		switch {
+		case c > 127:
+			c = 127
+		case c < -127:
+			c = -127
+		}
+		q[k*out+j] = int8(c)
+	}
+	return float32(scale)
+}

@@ -1,15 +1,29 @@
 #!/usr/bin/env bash
-# bench.sh — records the repo's three performance artifacts:
+# bench.sh — records the repo's performance artifacts as a machine-profile-
+# keyed bench matrix: every BENCH file embeds a "host" fingerprint (machine
+# key, CPU model, core count, GOOS/GOARCH, go version) so numbers from
+# different machines never get compared as if they were one series. The axes
+# are workers × rank-batch × intra-op × precision; axes that need multiple
+# cores are skipped with an explicit marker on single-core hosts, but the
+# precision axis always runs (it is single-worker by construction).
 #
 #   BENCH_kernels.json  — single-worker kernel/encoding performance: the
 #       end-to-end ranking benchmark through the pre-optimization reference
 #       path (independent padded full-length forward passes per fact) vs the
-#       prefix-reuse path behind RankOn, plus the zero-allocation encoder
-#       micro-benchmarks. Outputs of the two ranking paths are bit-identical
-#       (TestRankOnPrefixGolden), so the ratio is pure encoding/kernel
-#       speedup. Note the baseline already runs on the zero-allocation Into
-#       kernels, so the recorded speedup understates the total win over the
-#       original allocating kernels.
+#       prefix-reuse path behind RankOn, the zero-allocation encoder
+#       micro-benchmarks, and the reference-vs-blocked GEMM tier comparison
+#       at the encoder's real shapes. Outputs of the two ranking paths are
+#       bit-identical (TestRankOnPrefixGolden), and the blocked kernels are
+#       bit-identical to the reference kernels
+#       (TestBlockedKernelsMatchReference), so every ratio is pure kernel
+#       speedup.
+#
+#   BENCH_precision.json — the precision axis: end-to-end ranking and encoder
+#       forward ns/op on the f64, f32 and int8 inference tiers. NEVER skipped:
+#       the per-tier comparison is single-worker, so it is meaningful on any
+#       host; only the additional batched (intra-op) sub-axis is skipped on
+#       single-core machines. Ranking parity of the reduced tiers is gated by
+#       TestPrecisionParityGolden (NDCG@10 and Spearman vs f64), not bitwise.
 #
 #   BENCH_batch.json    — end-to-end ranking through the per-fact prefix path
 #       vs the packed batched path (RankBatch chunks + intra-op GEMM
@@ -37,6 +51,20 @@ cd "$(dirname "$0")/.."
 
 CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
 N=${1:-$CORES}
+
+# ------------------------------------------------------------ host profile ----
+# Every BENCH file embeds this fingerprint; machine_key is the short index a
+# results store would key the matrix by.
+
+GOOS=$(go env GOOS)
+GOARCH=$(go env GOARCH)
+GOVER=$(go env GOVERSION)
+CPU_MODEL=$(awk -F': ' '/^model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || true)
+[ -n "$CPU_MODEL" ] || CPU_MODEL=unknown
+MACHINE_KEY="${GOOS}-${GOARCH}-${CORES}c-${GOVER}"
+HOST_JSON=$(printf '{"machine_key": "%s", "goos": "%s", "goarch": "%s", "go_version": "%s", "cores": %s, "cpu_model": "%s"}' \
+    "$MACHINE_KEY" "$GOOS" "$GOARCH" "$GOVER" "$CORES" "$CPU_MODEL")
+echo "host profile: $HOST_JSON"
 
 # ---------------------------------------------------------------- kernels ----
 
@@ -79,10 +107,36 @@ fwd_ns=$(bench_ns ./internal/nn BenchmarkEncoderForward 20x)
 fwd_allocs=$(bench_allocs ./internal/nn BenchmarkEncoderForward 20x)
 echo "   ${fwd_ns} ns/op, ${fwd_allocs} allocs/op"
 
+# bench_sub_rows <pkg> <benchmark> <benchtime> <extra-json-key> -> JSON rows
+# for every sub-benchmark tier/shape pair, e.g.
+# BenchmarkMatMulBlocked/blocked/proj_96x32x32-4 -> {"tier": "blocked", ...}.
+bench_sub_rows() {
+    local pkg=$1 bench=$2 benchtime=$3 op=$4
+    go test -run '^$' -bench "^${bench}\$" -benchtime="$benchtime" "$pkg" \
+        | awk -v b="$bench" -v op="$op" '
+            $1 ~ "^"b"/" {
+                n = split($1, parts, "/")
+                sub(/-[0-9]+$/, "", parts[n])
+                shape = (n >= 3) ? parts[3] : "base_96x32"
+                printf "    {\"op\": \"%s\", \"tier\": \"%s\", \"shape\": \"%s\", \"ns_per_op\": %s},\n", op, parts[2], shape, $3
+                found = 1
+            }
+            END { if (!found) exit 1 }'
+}
+
+echo "-- GEMM tiers: reference vs blocked kernels at encoder shapes"
+gemm_rows=$( {
+    bench_sub_rows ./internal/nn BenchmarkMatMulBlocked 200ms matmul
+    bench_sub_rows ./internal/nn BenchmarkMatMulTBlocked 200ms matmul_t
+    bench_sub_rows ./internal/nn BenchmarkTMatMulBlocked 200ms t_matmul
+} | sed '$ s/,$//')
+printf '%s\n' "$gemm_rows" | sed 's/^    /   /'
+
 cat > "$KOUT" <<EOF
 {
   "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "note": "Ranking paths produce bit-identical scores (TestRankOnPrefixGolden); the baseline already uses the zero-allocation Into kernels, so end_to_end_ranking.speedup understates the win over the original allocating kernels.",
+  "host": $HOST_JSON,
+  "note": "Ranking paths produce bit-identical scores (TestRankOnPrefixGolden); the baseline already uses the zero-allocation Into kernels, so end_to_end_ranking.speedup understates the win over the original allocating kernels. gemm_tiers compares the reference kernels against the register-blocked cache-tiled tier (bit-identical: TestBlockedKernelsMatchReference).",
   "end_to_end_ranking": {
     "baseline": "BenchmarkRankLineageFull",
     "optimized": "BenchmarkRankLineagePrefix",
@@ -93,10 +147,71 @@ cat > "$KOUT" <<EOF
   "encoder_microbenchmarks": [
     {"name": "BenchmarkEncoderStep", "ns_per_op": $step_ns, "allocs_per_op": $step_allocs},
     {"name": "BenchmarkEncoderForward", "ns_per_op": $fwd_ns, "allocs_per_op": $fwd_allocs}
+  ],
+  "gemm_tiers": [
+$gemm_rows
   ]
 }
 EOF
 echo "wrote $KOUT"
+
+# -------------------------------------------------------------- precision ----
+# The precision axis is NEVER skipped: per-tier ranking runs single-worker
+# (workers=1, intra_op=1, rank_batch=0), so the comparison is meaningful on
+# any host. Only the extra batched sub-axis (rank_batch=8 fanned across the
+# intra-op pool) needs multiple cores and keeps the honest skip marker.
+
+POUT=BENCH_precision.json
+echo "== precision-tier benchmarks (f64 vs f32 vs int8; always run) =="
+
+echo "-- end-to-end ranking per tier (single worker, per-fact prefix path)"
+p64_ns=$(bench_ns ./internal/core BenchmarkRankLineagePrefix 5x)
+echo "   f64  ${p64_ns} ns/op"
+pf32_ns=$(bench_ns ./internal/core BenchmarkRankLineageF32 5x)
+echo "   f32  ${pf32_ns} ns/op"
+pi8_ns=$(bench_ns ./internal/core BenchmarkRankLineageInt8 5x)
+echo "   int8 ${pi8_ns} ns/op"
+
+echo "-- encoder forward per tier (warmed, zero-alloc)"
+fwd32_rows=$(bench_sub_rows ./internal/nn BenchmarkEncoder32Forward 2x fwd | sed '$ s/,$//')
+printf '%s\n' "$fwd32_rows" | sed 's/^    /   /'
+
+matrix_rows="    {\"precision\": \"f64\", \"workers\": 1, \"intra_op\": 1, \"rank_batch\": 0, \"benchmark\": \"BenchmarkRankLineagePrefix\", \"ns_per_op\": $p64_ns},\n"
+matrix_rows="$matrix_rows    {\"precision\": \"f32\", \"workers\": 1, \"intra_op\": 1, \"rank_batch\": 0, \"benchmark\": \"BenchmarkRankLineageF32\", \"ns_per_op\": $pf32_ns},\n"
+matrix_rows="$matrix_rows    {\"precision\": \"int8\", \"workers\": 1, \"intra_op\": 1, \"rank_batch\": 0, \"benchmark\": \"BenchmarkRankLineageInt8\", \"ns_per_op\": $pi8_ns},\n"
+
+if [ "$CORES" -le 1 ] || [ "$N" -le 1 ]; then
+    batched_axis_skipped=true
+    echo "-- batched precision sub-axis: skipped (cores=$CORES, N=$N)"
+else
+    batched_axis_skipped=false
+    echo "-- batched precision sub-axis (rank_batch=8, intra-op workers=$N)"
+    b64_ns=$(REPRO_WORKERS=$N bench_ns ./internal/core BenchmarkRankLineageBatched 5x)
+    echo "   f64  ${b64_ns} ns/op"
+    b32_ns=$(REPRO_WORKERS=$N bench_ns ./internal/core BenchmarkRankLineageF32Batched 5x)
+    echo "   f32  ${b32_ns} ns/op"
+    matrix_rows="$matrix_rows    {\"precision\": \"f64\", \"workers\": 1, \"intra_op\": $N, \"rank_batch\": 8, \"benchmark\": \"BenchmarkRankLineageBatched\", \"ns_per_op\": $b64_ns},\n"
+    matrix_rows="$matrix_rows    {\"precision\": \"f32\", \"workers\": 1, \"intra_op\": $N, \"rank_batch\": 8, \"benchmark\": \"BenchmarkRankLineageF32Batched\", \"ns_per_op\": $b32_ns},\n"
+fi
+matrix_rows=$(printf '%b' "$matrix_rows" | sed '$ s/,$//')
+
+cat > "$POUT" <<EOF
+{
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": $HOST_JSON,
+  "skipped": false,
+  "batched_axis_skipped": $batched_axis_skipped,
+  "note": "Per-tier ranking ns/op over the same lineages; parity of the reduced tiers vs the f64 ranker is tolerance-gated (NDCG@10 >= 0.99 and Spearman, TestPrecisionParityGolden), not bitwise. Within each tier, batched and per-fact paths are bit-identical (TestRankOnLowPrecBatchedMatchesPerFact). The batched sub-axis needs the intra-op pool and is skipped on single-core hosts; the precision axis itself always runs.",
+  "matrix": [
+$matrix_rows
+  ],
+  "encoder_forward_tiers": [
+    {"op": "fwd", "tier": "f64", "shape": "base_96x32", "ns_per_op": $fwd_ns},
+$fwd32_rows
+  ]
+}
+EOF
+echo "wrote $POUT"
 
 # ------------------------------------------------------------------ batch ----
 
@@ -107,6 +222,7 @@ if [ "$CORES" -le 1 ] || [ "$N" -le 1 ]; then
     cat > "$BOUT" <<EOF
 {
   "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": $HOST_JSON,
   "cores": $CORES,
   "skipped": true,
   "note": "Batched-vs-prefix comparison skipped: the batched path's advantage comes from fanning large packed GEMMs across the intra-op worker pool, so on a single-core machine (or N<=1) the measurement would be bookkeeping noise, not speedup. Outputs are bit-identical either way (TestRankOnBatchedGolden). Re-run scripts/bench.sh on a multi-core machine to populate it."
@@ -132,6 +248,7 @@ else
     cat > "$BOUT" <<EOF
 {
   "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": $HOST_JSON,
   "cores": $CORES,
   "skipped": false,
   "note": "Ranking scores are bit-identical across paths, chunk sizes and worker counts (TestRankOnBatchedGolden); the ratio is pure packing + intra-op scheduling speedup.",
@@ -158,6 +275,7 @@ if [ "$CORES" -le 1 ] || [ "$N" -le 1 ]; then
     cat > "$TOUT" <<EOF
 {
   "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": $HOST_JSON,
   "cores": $CORES,
   "skipped": true,
   "note": "Replica-vs-packed training comparison skipped: the packed path's advantage comes from fanning layer-wide forward/backward GEMMs across the intra-op worker pool, so on a single-core machine (or N<=1) the measurement would be bookkeeping noise, not speedup. Trained weights are bit-identical either way (TestTrainBatchedParity). Re-run scripts/bench.sh on a multi-core machine to populate it."
@@ -183,6 +301,7 @@ else
     cat > "$TOUT" <<EOF
 {
   "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": $HOST_JSON,
   "cores": $CORES,
   "skipped": false,
   "train_batch": 8,
@@ -205,6 +324,7 @@ if [ "$CORES" -le 1 ] || [ "$N" -le 1 ]; then
     cat > "$OUT" <<EOF
 {
   "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": $HOST_JSON,
   "cores": $CORES,
   "skipped": true,
   "note": "Workers comparison skipped: a single-core machine (or N<=1) schedules workers=1 and workers=N identically, so the ratio would be measurement noise, not speedup. Re-run scripts/bench.sh on a multi-core machine to populate benchmarks."
@@ -250,6 +370,7 @@ rows=$(printf '%b' "$rows" | sed '$ s/,$//')
 cat > "$OUT" <<EOF
 {
   "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": $HOST_JSON,
   "cores": $CORES,
   "skipped": false,
   "workers_compared": [1, $N],

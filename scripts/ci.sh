@@ -35,6 +35,13 @@ echo "== go test -race (batched + intra-op parallel paths) =="
 go test -race ./internal/nn -run 'Batched|ParKernels|ForEachRows'
 go test -race ./internal/core -run 'Batched'
 
+echo "== go test -race (blocked kernel tier + precision engines) =="
+# The blocked-kernel serial-parity test sweeps intra-op worker counts over the
+# row-partitioned blocked GEMMs, and the low-precision batched test does the
+# same through the f32/int8 engines — both explicitly under the race detector.
+go test -race ./internal/nn -run 'Blocked|Encoder32|QuantizeChannel'
+go test -race ./internal/core -run 'LowPrec|Precision'
+
 echo "== allocation regression gate =="
 # TestEncoderStepZeroAllocs pins the warmed encoder step to 0 allocs/op. It
 # self-skips under the race detector, so run it without -race here and fail
@@ -68,6 +75,35 @@ alloc_out=$(go test ./internal/nn -run '^TestBatchedTrainStepZeroAllocs$' -v)
 echo "$alloc_out" | tail -n 3
 if ! echo "$alloc_out" | grep -q -- '--- PASS: TestBatchedTrainStepZeroAllocs'; then
     echo "TestBatchedTrainStepZeroAllocs did not pass (skipped?)" >&2
+    exit 1
+fi
+# The blocked kernel tier must also be allocation-free: every layer now routes
+# through it, so a regression here would silently break the warmed-step
+# contract above.
+alloc_out=$(go test ./internal/nn -run '^TestBlockedKernelsZeroAllocs$' -v)
+echo "$alloc_out" | tail -n 3
+if ! echo "$alloc_out" | grep -q -- '--- PASS: TestBlockedKernelsZeroAllocs'; then
+    echo "TestBlockedKernelsZeroAllocs did not pass (skipped?)" >&2
+    exit 1
+fi
+# And the low-precision engines: a warmed f32/int8 pass (full forward, prefix
+# forward, packed batched forward + head readouts) must run at 0 allocs/op.
+alloc_out=$(go test ./internal/nn -run '^TestEncoder32ZeroAllocs$' -v)
+echo "$alloc_out" | tail -n 3
+if ! echo "$alloc_out" | grep -q -- '--- PASS: TestEncoder32ZeroAllocs'; then
+    echo "TestEncoder32ZeroAllocs did not pass (skipped?)" >&2
+    exit 1
+fi
+
+echo "== precision parity gate =="
+# The reduced-precision tiers are tolerance-gated, not bitwise: ranking the
+# golden corpus through the f32 and int8 engines must agree with the f64
+# ranker at NDCG@10 >= 0.99 and Spearman >= 0.99. Like the allocation gates,
+# a skip must not silently satisfy the gate.
+parity_out=$(go test ./internal/core -run '^TestPrecisionParityGolden$' -v)
+echo "$parity_out" | grep -E 'vs f64|--- (PASS|FAIL|SKIP)' || true
+if ! echo "$parity_out" | grep -q -- '--- PASS: TestPrecisionParityGolden'; then
+    echo "TestPrecisionParityGolden did not pass (skipped?)" >&2
     exit 1
 fi
 
