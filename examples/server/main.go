@@ -1,120 +1,34 @@
 // Server demonstrates the deployment story of Section 5.8: once trained,
 // LearnShapley answers real-time "why is this tuple in the result?" requests
 // from only the query and the tuple — no provenance capture needed. The
-// program trains a small model over a synthetic IMDB corpus, exposes it over
-// HTTP, issues a demonstration request against itself, and exits (pass
-// -serve to keep it running).
+// program trains a small model over a synthetic IMDB corpus, starts the
+// production serving stack (internal/serve: dynamic batching, backpressure,
+// graceful drain — the same engine behind cmd/serve), issues a demonstration
+// request against itself, and exits (pass -serve to keep it running).
 //
 //	POST /rank {"sql": "...", "tuple": ["Alice", ...]}
-//	  -> {"facts": [{"fact": "...", "score": 0.21}, ...]}
+//	  -> {"facts": [{"id": 17, "fact": "...", "score": 0.21}, ...]}
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/engine"
-	"repro/internal/sqlparse"
+	"repro/internal/serve"
 )
-
-type rankRequest struct {
-	SQL   string   `json:"sql"`
-	Tuple []string `json:"tuple"`
-}
-
-type rankedFact struct {
-	Fact  string  `json:"fact"`
-	Score float64 `json:"score"`
-}
-
-type rankResponse struct {
-	Query string       `json:"query"`
-	Tuple string       `json:"tuple"`
-	Facts []rankedFact `json:"facts"`
-}
-
-type server struct {
-	corpus *dataset.Corpus
-	model  *core.Model
-}
-
-func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req rankRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	q, err := sqlparse.Parse(req.SQL)
-	if err != nil {
-		http.Error(w, "parse: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	// The service evaluates the query to locate the output tuple and its
-	// lineage; a production deployment would read the lineage from the
-	// engine's provenance capture instead.
-	res, err := engine.Evaluate(s.corpus.DB, q)
-	if err != nil {
-		http.Error(w, "evaluate: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	var target *engine.OutputTuple
-	for _, t := range res.Tuples {
-		if matches(t, req.Tuple) {
-			target = t
-			break
-		}
-	}
-	if target == nil {
-		http.Error(w, "output tuple not found in query result", http.StatusNotFound)
-		return
-	}
-	pred := s.model.Rank(core.Input{
-		SQL:         req.SQL,
-		Query:       q,
-		TupleValues: target.Values,
-		Lineage:     target.Lineage(),
-	})
-	resp := rankResponse{Query: q.SQL(), Tuple: target.String()}
-	for _, id := range pred.Ranking() {
-		resp.Facts = append(resp.Facts, rankedFact{
-			Fact:  s.corpus.DB.Fact(id).String(),
-			Score: pred[id],
-		})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("encode response: %v", err)
-	}
-}
-
-func matches(t *engine.OutputTuple, want []string) bool {
-	if len(t.Values) != len(want) {
-		return false
-	}
-	for i, v := range t.Values {
-		if v.String() != want[i] {
-			return false
-		}
-	}
-	return true
-}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
-	serve := flag.Bool("serve", false, "keep serving instead of running the demo request")
+	keep := flag.Bool("serve", false, "keep serving instead of running the demo request")
 	flag.Parse()
 
 	fmt.Println("Building corpus and training a small LearnShapley model...")
@@ -134,26 +48,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	s := &server{corpus: corpus, model: model}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/rank", s.handleRank)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
+	// The full daemon (checkpoint loading, hot-swap, metrics, load generator)
+	// lives in cmd/serve; this example only needs an address and the defaults.
+	scfg := serve.DefaultConfig()
+	scfg.Addr = *addr
+	srv := serve.New(scfg, corpus, model)
+	if err := srv.Start(); err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() {
-		if err := srv.Serve(ln); err != http.ErrServerClosed {
-			log.Printf("serve: %v", err)
-		}
-	}()
-	fmt.Printf("Serving on http://%s\n", ln.Addr())
+	fmt.Printf("Serving on %s\n", srv.URL())
 
-	if *serve {
+	if *keep {
 		select {}
 	}
 
@@ -164,13 +69,19 @@ func main() {
 	for i, v := range q.Cases[0].Tuple.Values {
 		tuple[i] = v.String()
 	}
-	body, _ := json.Marshal(rankRequest{SQL: q.SQL, Tuple: tuple})
-	resp, err := http.Post(fmt.Sprintf("http://%s/rank", ln.Addr()), "application/json", bytes.NewReader(body))
+	body, err := json.Marshal(serve.RankRequest{SQL: q.SQL, Tuple: tuple})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL()+"/rank", "application/json", bytes.NewReader(body))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
-	out, _ := io.ReadAll(resp.Body)
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nPOST /rank -> %s\n", resp.Status)
 	var pretty bytes.Buffer
 	if err := json.Indent(&pretty, out, "", "  "); err == nil {
@@ -178,7 +89,10 @@ func main() {
 	} else {
 		fmt.Println(string(out))
 	}
-	if err := srv.Close(); err != nil {
-		log.Printf("close: %v", err)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
 	}
 }

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/shapley"
+)
+
+// Admission errors. Handlers map ErrQueueFull to 429 (with Retry-After) and
+// ErrStopped to 503.
+var (
+	ErrQueueFull = errors.New("serve: request queue full")
+	ErrStopped   = errors.New("serve: server is shutting down")
+)
+
+// jobKind selects what a queued job computes.
+type jobKind int
+
+const (
+	jobRank jobKind = iota // score one lineage (Model.Rank)
+	jobSim                 // pre-training head similarities (PredictSimilarities)
+)
+
+// job is one admitted scoring request. The submitting handler blocks on done;
+// the dispatch worker that scores the job fills the result field for its kind
+// and closes done exactly once.
+type job struct {
+	kind jobKind
+	in   core.Input // jobRank
+	simA string     // jobSim
+	simB string
+
+	scores shapley.Values
+	sims   map[string]float64
+	done   chan struct{}
+}
+
+// run executes the job on one replica. Replicas are not safe for concurrent
+// use; the dispatcher guarantees one job per replica at a time.
+func (j *job) run(m *core.Model) {
+	switch j.kind {
+	case jobRank:
+		j.scores = m.Rank(j.in)
+	case jobSim:
+		j.sims = m.PredictSimilarities(j.simA, j.simB)
+	}
+}
+
+// replicaSet owns one dispatch goroutine's model replicas and re-clones them
+// when the served model was hot-swapped. The generation check is one atomic
+// load per batch; cloning happens only after a swap.
+type replicaSet struct {
+	srv  *Server
+	gen  int64
+	reps []*core.Model
+}
+
+// get returns n replicas of the currently served model, cloning lazily as
+// batch sizes grow and keeping warmed replicas (and their workspace arenas)
+// across batches. A generation mismatch drops every replica; a swap observed
+// between the generation load and the clone only causes one redundant
+// re-clone on the next batch, never a stale score beyond the batch already in
+// flight.
+func (r *replicaSet) get(n int) []*core.Model {
+	if gen := r.srv.gen.Load(); gen != r.gen {
+		r.gen = gen
+		r.reps = r.reps[:0]
+	}
+	for len(r.reps) < n {
+		r.reps = append(r.reps, r.srv.state().model.CloneForWorker())
+	}
+	return r.reps[:n]
+}
+
+// batcher is the admission queue plus dispatch workers.
+//
+// Queue discipline: submit is non-blocking — a full queue rejects immediately
+// (ErrQueueFull) so overload surfaces as backpressure, not as unbounded
+// latency. The stopped flag is guarded by mu so close() can safely close the
+// jobs channel: submitters hold the read lock across their send, so no send
+// can race the close.
+//
+// Dispatch discipline: with MaxBatch > 1 a single coalescing dispatcher pulls
+// the first job, keeps collecting until the batch is full or BatchWindow has
+// elapsed, and fans the batch across its replicas via parallel.ForEachWorker.
+// While a batch is being scored, new arrivals accumulate in the queue, so
+// batch sizes adapt to load automatically (light load → singleton batches and
+// no added latency beyond the window; heavy load → full batches). With
+// MaxBatch <= 1 there is no coalescing: Workers independent dispatchers each
+// score one job at a time — the per-request baseline.
+type batcher struct {
+	srv     *Server
+	cfg     Config
+	jobs    chan *job
+	mu      sync.RWMutex
+	stopped bool
+	wg      sync.WaitGroup
+
+	mBatch    *obs.Histogram // serve.batch.size: requests per dispatch
+	mDepth    *obs.Gauge     // serve.queue.depth: jobs waiting after last dispatch
+	mRejected *obs.Counter   // serve.queue.rejected
+	mJobs     *obs.Counter   // serve.queue.admitted
+}
+
+func defaultWorkers() int { return parallel.Workers(0) }
+
+func newBatcher(s *Server) *batcher {
+	reg := obs.Metrics()
+	return &batcher{
+		srv:       s,
+		cfg:       s.cfg,
+		jobs:      make(chan *job, s.cfg.QueueCap),
+		mBatch:    reg.Histogram("serve.batch.size", []float64{1, 2, 4, 8, 16, 32, 64}),
+		mDepth:    reg.Gauge("serve.queue.depth"),
+		mRejected: reg.Counter("serve.queue.rejected"),
+		mJobs:     reg.Counter("serve.queue.admitted"),
+	}
+}
+
+// start launches the dispatch workers: one coalescing dispatcher when
+// batching is on, Workers per-request dispatchers when it is off.
+func (b *batcher) start() {
+	if b.cfg.MaxBatch > 1 {
+		b.wg.Add(1)
+		go b.runCoalescing()
+		return
+	}
+	b.wg.Add(b.cfg.Workers)
+	for w := 0; w < b.cfg.Workers; w++ {
+		go b.runPerRequest()
+	}
+}
+
+// full reports whether the queue is at capacity right now — the cheap
+// pre-admission check handlers use to reject before doing request work.
+func (b *batcher) full() bool { return len(b.jobs) == cap(b.jobs) }
+
+// submit admits one job. It never blocks: the job is either queued (nil), the
+// queue is full (ErrQueueFull), or the server is draining (ErrStopped).
+func (b *batcher) submit(j *job) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.stopped {
+		return ErrStopped
+	}
+	select {
+	case b.jobs <- j:
+		b.mJobs.Add(1)
+		b.mDepth.Set(float64(len(b.jobs)))
+		return nil
+	default:
+		b.mRejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// close stops admission and waits for the dispatchers to drain every queued
+// job. Safe to call more than once.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.stopped = true
+	b.mu.Unlock()
+	// No submitter can be inside a send now (they check stopped under the
+	// read lock), so closing the channel is race-free. Dispatchers keep
+	// receiving buffered jobs until the queue is empty, score them, and exit.
+	close(b.jobs)
+	b.wg.Wait()
+}
+
+// runCoalescing is the batching dispatcher: collect, flush, score, repeat.
+func (b *batcher) runCoalescing() {
+	defer b.wg.Done()
+	rs := &replicaSet{srv: b.srv}
+	batch := make([]*job, 0, b.cfg.MaxBatch)
+	for {
+		j, ok := <-b.jobs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], j)
+		b.collect(&batch)
+		b.score(rs, batch)
+	}
+}
+
+// collect fills the batch until MaxBatch or the batch window closes. A zero
+// window takes only the jobs already queued (no added latency). A closed,
+// drained queue ends collection immediately.
+func (b *batcher) collect(batch *[]*job) {
+	if b.cfg.BatchWindow <= 0 {
+		for len(*batch) < b.cfg.MaxBatch {
+			select {
+			case j, ok := <-b.jobs:
+				if !ok {
+					return
+				}
+				*batch = append(*batch, j)
+			default:
+				return
+			}
+		}
+		return
+	}
+	timer := time.NewTimer(b.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(*batch) < b.cfg.MaxBatch {
+		select {
+		case j, ok := <-b.jobs:
+			if !ok {
+				return
+			}
+			*batch = append(*batch, j)
+		case <-timer.C:
+			return
+		}
+	}
+}
+
+// score fans one batch across the replicas and completes every job. Each job
+// runs whole on one replica (parallel.ForEachWorker: calls sharing a worker
+// slot are sequential), so per-request scoring is exactly the offline RankOn
+// computation regardless of how requests were coalesced.
+func (b *batcher) score(rs *replicaSet, batch []*job) {
+	b.mBatch.Observe(float64(len(batch)))
+	b.mDepth.Set(float64(len(b.jobs)))
+	reps := rs.get(min(b.cfg.Workers, len(batch)))
+	parallel.ForEachWorker(len(reps), len(batch), func(w, i int) {
+		batch[i].run(reps[w])
+	})
+	for _, j := range batch {
+		close(j.done)
+	}
+}
+
+// runPerRequest is the baseline dispatcher: one replica, one job at a time.
+func (b *batcher) runPerRequest() {
+	defer b.wg.Done()
+	rs := &replicaSet{srv: b.srv}
+	for j := range b.jobs {
+		b.mBatch.Observe(1)
+		b.mDepth.Set(float64(len(b.jobs)))
+		j.run(rs.get(1)[0])
+		close(j.done)
+	}
+}

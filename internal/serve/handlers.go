@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/sqlparse"
+)
+
+// RankRequest asks for the ranked lineage of one output tuple: the service
+// evaluates the query to locate the tuple and its lineage (a production
+// deployment would read the lineage from the engine's provenance capture),
+// then scores every lineage fact with the model — the Section 5.8 deployment
+// story: no provenance capture at question time, interactive latency.
+type RankRequest struct {
+	SQL   string   `json:"sql"`
+	Tuple []string `json:"tuple"`
+}
+
+// RankedFact is one scored lineage member. ID resolves against the server's
+// database; Score is the model's predicted Shapley contribution, serialized
+// at full float64 round-trip precision (the parity tests compare it bitwise).
+type RankedFact struct {
+	ID    int32   `json:"id"`
+	Fact  string  `json:"fact"`
+	Score float64 `json:"score"`
+}
+
+// RankResponse is the /rank payload: lineage facts in ranked order.
+type RankResponse struct {
+	Query string       `json:"query"`
+	Tuple string       `json:"tuple"`
+	Facts []RankedFact `json:"facts"`
+}
+
+// ExplainResponse is the /explain payload: the ranking plus the evaluation
+// plan, for "why is this tuple in the result?" answers a human can read.
+type ExplainResponse struct {
+	Query string       `json:"query"`
+	Tuple string       `json:"tuple"`
+	Plan  string       `json:"plan"`
+	Facts []RankedFact `json:"facts"`
+}
+
+// SimilarRequest asks the pre-training heads how similar two queries are.
+type SimilarRequest struct {
+	SQLA string `json:"sql_a"`
+	SQLB string `json:"sql_b"`
+}
+
+// SimilarResponse maps pre-training metric -> predicted similarity. Empty
+// when the served model was trained without pre-training heads.
+type SimilarResponse struct {
+	Similarities map[string]float64 `json:"similarities"`
+}
+
+// ReloadRequest names a gob checkpoint (written by Model.Save / -save) to
+// hot-swap in. The checkpoint must have been trained over the server's
+// database.
+type ReloadRequest struct {
+	Path string `json:"path"`
+}
+
+// ReloadResponse confirms a hot-swap.
+type ReloadResponse struct {
+	Version string `json:"version"`
+	Model   string `json:"model"`
+	Weights int    `json:"weights"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// routes assembles the endpoint table with per-endpoint instrumentation.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rank", s.instrument("rank", s.handleRank))
+	mux.HandleFunc("/explain", s.instrument("explain", s.handleExplain))
+	mux.HandleFunc("/similar", s.instrument("similar", s.handleSimilar))
+	mux.HandleFunc("/admin/reload", s.instrument("reload", s.handleReload))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/manifest", s.handleManifest)
+	return mux
+}
+
+// instrument wraps a handler with the endpoint's request counter and latency
+// histogram. Handles are resolved once at route construction (obs contract).
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	reg := obs.Metrics()
+	reqs := reg.Counter("serve.req." + name)
+	lat := reg.Histogram("serve.latency_ms."+name, obs.ExpBuckets(0.25, 2, 14))
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		start := time.Now()
+		h(w, r)
+		lat.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	}
+}
+
+// writeJSON sends one JSON response. Encode errors after the header is out
+// cannot change the status anymore; they are counted and logged, never
+// silently dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		obs.Metrics().Counter("serve.err.encode").Add(1)
+		obs.Infof("serve: encode response: %v\n", err)
+	}
+}
+
+// writeError sends a JSON error body with the given status.
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	obs.Metrics().Counter("serve.err.request").Add(1)
+	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit runs one job through the admission queue and waits for its result.
+// The returned status is 0 on success; otherwise the HTTP status the caller
+// must answer with (already written).
+func (s *Server) admit(w http.ResponseWriter, j *job) int {
+	j.done = make(chan struct{})
+	switch err := s.b.submit(j); err {
+	case nil:
+	case ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "request queue full (cap %d); retry later", s.cfg.QueueCap)
+		return http.StatusTooManyRequests
+	default: // ErrStopped
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return http.StatusServiceUnavailable
+	}
+	<-j.done
+	return 0
+}
+
+// resolveTuple evaluates the query and locates the requested output tuple.
+func (s *Server) resolveTuple(w http.ResponseWriter, r *http.Request) (*engine.OutputTuple, core.Input, bool) {
+	var in core.Input
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return nil, in, false
+	}
+	// Cheap pre-admission check: under overload, reject before paying for
+	// parse + evaluate. The authoritative check is submit's.
+	if s.b.full() {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "request queue full (cap %d); retry later", s.cfg.QueueCap)
+		return nil, in, false
+	}
+	var req RankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return nil, in, false
+	}
+	q, res, err := s.evaluate(req.SQL)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, in, false
+	}
+	var target *engine.OutputTuple
+	for _, t := range res.Tuples {
+		if tupleMatches(t, req.Tuple) {
+			target = t
+			break
+		}
+	}
+	if target == nil {
+		s.writeError(w, http.StatusNotFound, "output tuple not found in query result")
+		return nil, in, false
+	}
+	in = core.Input{
+		SQL:         req.SQL,
+		Query:       q,
+		TupleValues: target.Values,
+		Lineage:     target.Lineage(),
+	}
+	return target, in, true
+}
+
+// rankedFacts renders scored lineage facts in ranking order.
+func (s *Server) rankedFacts(j *job) []RankedFact {
+	facts := make([]RankedFact, 0, len(j.scores))
+	for _, id := range j.scores.Ranking() {
+		facts = append(facts, RankedFact{
+			ID:    int32(id),
+			Fact:  s.corpus.DB.Fact(id).String(),
+			Score: j.scores[id],
+		})
+	}
+	return facts
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	target, in, ok := s.resolveTuple(w, r)
+	if !ok {
+		return
+	}
+	j := &job{kind: jobRank, in: in}
+	if s.admit(w, j) != 0 {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, RankResponse{
+		Query: in.Query.SQL(),
+		Tuple: target.String(),
+		Facts: s.rankedFacts(j),
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	target, in, ok := s.resolveTuple(w, r)
+	if !ok {
+		return
+	}
+	plan, err := engine.Explain(s.corpus.DB, in.Query)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "explain: %v", err)
+		return
+	}
+	j := &job{kind: jobRank, in: in}
+	if s.admit(w, j) != 0 {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ExplainResponse{
+		Query: in.Query.SQL(),
+		Tuple: target.String(),
+		Plan:  plan,
+		Facts: s.rankedFacts(j),
+	})
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SimilarRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.SQLA == "" || req.SQLB == "" {
+		s.writeError(w, http.StatusBadRequest, "sql_a and sql_b are required")
+		return
+	}
+	j := &job{kind: jobSim, simA: req.SQLA, simB: req.SQLB}
+	if s.admit(w, j) != 0 {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SimilarResponse{Similarities: j.sims})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ReloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	f, err := os.Open(req.Path)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "open checkpoint: %v", err)
+		return
+	}
+	model, err := core.LoadModel(f, s.corpus.DB)
+	closeErr := f.Close()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "load checkpoint: %v", err)
+		return
+	}
+	if closeErr != nil {
+		s.writeError(w, http.StatusInternalServerError, "close checkpoint: %v", closeErr)
+		return
+	}
+	version := fmt.Sprintf("%s@%s", req.Path, time.Now().UTC().Format(time.RFC3339))
+	s.SwapModel(model, version)
+	s.writeJSON(w, http.StatusOK, ReloadResponse{
+		Version: version,
+		Model:   model.Name(),
+		Weights: model.NumWeights(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"model":       st.model.Name(),
+		"version":     st.version,
+		"loaded_utc":  st.loaded.UTC().Format(time.RFC3339),
+		"queue_depth": len(s.b.jobs),
+		"max_batch":   s.cfg.MaxBatch,
+		"workers":     s.cfg.Workers,
+		"precision":   s.cfg.Precision,
+	})
+}
+
+// handleMetrics exports the live obs registry as JSON — per-endpoint latency
+// histograms, the batch-size histogram, queue-depth gauge and every library
+// metric (core.rank.*, nn.batch.*, ...). Empty maps without a live registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, obs.Metrics().Snapshot())
+}
+
+// handleManifest exports the run manifest of the installed obs run, the same
+// learnshapley.run.v1 document -metrics-out writes at exit.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	run := obs.Live()
+	if run == nil {
+		s.writeError(w, http.StatusNotFound, "no observability run installed (start with -metrics-out or -trace)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, run.Manifest())
+}
+
+// evaluate parses and evaluates one query against the server's database. The
+// database is read-only, so concurrent handler goroutines may evaluate freely
+// (the corpus build already evaluates queries in parallel over the same
+// structures).
+func (s *Server) evaluate(sql string) (*sqlparse.Query, *engine.Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse: %w", err)
+	}
+	res, err := engine.Evaluate(s.corpus.DB, q)
+	if err != nil {
+		return nil, nil, fmt.Errorf("evaluate: %w", err)
+	}
+	return q, res, nil
+}
+
+// tupleMatches reports whether an output tuple renders to the requested
+// string values.
+func tupleMatches(t *engine.OutputTuple, want []string) bool {
+	if len(t.Values) != len(want) {
+		return false
+	}
+	for i, v := range t.Values {
+		if v.String() != want[i] {
+			return false
+		}
+	}
+	return true
+}

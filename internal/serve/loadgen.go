@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// LoadConfig drives the load generator against a running daemon.
+type LoadConfig struct {
+	// BaseURL of the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent request issuers (persistent
+	// connections).
+	Clients int
+	// Requests is the total request budget.
+	Requests int
+	// Rate > 0 runs the generator open-loop: requests are scheduled at this
+	// aggregate rate (requests/second) regardless of completions, and latency
+	// is measured from the scheduled arrival time — so queueing delay under
+	// overload is part of the number, as it is for a real user. Rate == 0
+	// runs closed-loop: each client issues its next request as soon as the
+	// previous one completes.
+	Rate float64
+}
+
+// LoadReport is the measured outcome of one load run. Latency quantiles are
+// over successful (200) requests only; rejected requests (429 backpressure)
+// are counted separately — hiding them would make overload look fast.
+type LoadReport struct {
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Rejected      int     `json:"rejected"`
+	Errors        int     `json:"errors"`
+	DurationSec   float64 `json:"duration_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+}
+
+// RankBodies renders /rank request bodies for the corpus's test cases — the
+// request mix the load generator cycles through. Returns at most n bodies
+// (n <= 0 means all).
+func RankBodies(c *dataset.Corpus, n int) ([][]byte, error) {
+	var bodies [][]byte
+	for _, qi := range c.Test {
+		q := c.Queries[qi]
+		for _, cs := range q.Cases {
+			tuple := make([]string, len(cs.Tuple.Values))
+			for i, v := range cs.Tuple.Values {
+				tuple[i] = v.String()
+			}
+			body, err := json.Marshal(RankRequest{SQL: q.SQL, Tuple: tuple})
+			if err != nil {
+				return nil, err
+			}
+			bodies = append(bodies, body)
+			if n > 0 && len(bodies) >= n {
+				return bodies, nil
+			}
+		}
+	}
+	if len(bodies) == 0 {
+		return nil, fmt.Errorf("serve: corpus has no test cases to build load from")
+	}
+	return bodies, nil
+}
+
+// RunLoad fires cfg.Requests /rank requests at the target and reports
+// latency quantiles and throughput. Request i uses bodies[i % len(bodies)],
+// so runs with the same corpus and budget issue the same work regardless of
+// client count or rate.
+func RunLoad(cfg LoadConfig, bodies [][]byte) (*LoadReport, error) {
+	if cfg.Clients < 1 || cfg.Requests < 1 || len(bodies) == 0 {
+		return nil, fmt.Errorf("serve: load config needs clients >= 1, requests >= 1 and a request mix")
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Clients,
+		MaxIdleConnsPerHost: cfg.Clients,
+	}}
+	defer client.CloseIdleConnections()
+
+	// Per-request result slots: each request index is written by exactly one
+	// client, so the run is data-race-free without locks.
+	latMs := make([]float64, cfg.Requests)
+	status := make([]int, cfg.Requests)
+
+	// Open-loop schedule: tick i is the intended arrival time of request i.
+	var schedule []time.Time
+	start := time.Now()
+	if cfg.Rate > 0 {
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
+		schedule = make([]time.Time, cfg.Requests)
+		for i := range schedule {
+			schedule[i] = start.Add(time.Duration(i) * interval)
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				issued := time.Now()
+				if schedule != nil {
+					if d := time.Until(schedule[i]); d > 0 {
+						time.Sleep(d)
+					}
+					issued = schedule[i]
+				}
+				resp, err := client.Post(cfg.BaseURL+"/rank", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					status[i] = -1
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				status[i] = resp.StatusCode
+				latMs[i] = float64(time.Since(issued).Nanoseconds()) / 1e6
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &LoadReport{Clients: cfg.Clients, Requests: cfg.Requests, DurationSec: wall.Seconds()}
+	var okLat []float64
+	var sum float64
+	for i, st := range status {
+		switch {
+		case st == http.StatusOK:
+			rep.OK++
+			okLat = append(okLat, latMs[i])
+			sum += latMs[i]
+		case st == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Errors++
+		}
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / wall.Seconds()
+	}
+	if len(okLat) > 0 {
+		sort.Float64s(okLat)
+		rep.MeanMs = sum / float64(len(okLat))
+		rep.P50Ms = quantile(okLat, 0.50)
+		rep.P99Ms = quantile(okLat, 0.99)
+	}
+	return rep, nil
+}
+
+// quantile reads the q-quantile from an ascending slice (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/shapley"
+)
+
+// SelfTest is the end-to-end gate behind `cmd/serve -selftest` (scripts/ci.sh
+// runs it): it fires n concurrent /rank requests over real TCP connections at
+// the running server, checks every response bit-for-bit against sequential
+// core.RankOn on the same lineages, exercises /similar, /healthz and
+// /metrics, and fails if the metrics snapshot shows no serve activity. The
+// server keeps running; the caller owns shutdown.
+func SelfTest(s *Server, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	cases, err := selfTestCases(s, n)
+	if err != nil {
+		return err
+	}
+
+	// Sequential reference pass, before any traffic: a fresh replica shares
+	// the served weights but owns its activation state, so the reference is
+	// exactly what a per-request deployment would have computed.
+	ref := s.state().model.CloneForWorker()
+	want := make([]shapley.Values, len(cases))
+	for i, c := range cases {
+		want[i] = ref.Rank(c.in)
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: n}}
+	defer client.CloseIdleConnections()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			c := cases[i%len(cases)]
+			errs[i] = checkRank(client, s.URL(), c.body, want[i%len(cases)])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	if err := checkSimilar(client, s.URL(), cases[0].sql); err != nil {
+		return err
+	}
+	if err := checkHealthz(client, s.URL()); err != nil {
+		return err
+	}
+	return checkMetrics(client, s.URL(), int64(n))
+}
+
+// selfTestCase is one prepared request with its scoring input.
+type selfTestCase struct {
+	sql  string
+	body []byte
+	in   core.Input
+}
+
+// selfTestCases prepares up to n distinct (query, tuple) requests from the
+// corpus's test split.
+func selfTestCases(s *Server, n int) ([]selfTestCase, error) {
+	var out []selfTestCase
+	for _, qi := range s.corpus.Test {
+		q := s.corpus.Queries[qi]
+		for _, cs := range q.Cases {
+			tuple := make([]string, len(cs.Tuple.Values))
+			for i, v := range cs.Tuple.Values {
+				tuple[i] = v.String()
+			}
+			body, err := json.Marshal(RankRequest{SQL: q.SQL, Tuple: tuple})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, selfTestCase{
+				sql:  q.SQL,
+				body: body,
+				in: core.Input{
+					SQL:         q.SQL,
+					Query:       q.Query,
+					TupleValues: cs.Tuple.Values,
+					Lineage:     cs.Tuple.Lineage(),
+				},
+			})
+			if len(out) >= n {
+				return out, nil
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("serve: selftest needs a corpus with test cases")
+	}
+	return out, nil
+}
+
+// checkRank posts one /rank request and compares every returned score bitwise
+// against the sequential reference (float64 JSON round-trips exactly).
+func checkRank(client *http.Client, base string, body []byte, want shapley.Values) error {
+	resp, err := client.Post(base+"/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("selftest: rank request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("selftest: rank -> %s: %s", resp.Status, msg)
+	}
+	var rr RankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return fmt.Errorf("selftest: decode rank response: %w", err)
+	}
+	if len(rr.Facts) != len(want) {
+		return fmt.Errorf("selftest: rank returned %d facts, sequential RankOn %d", len(rr.Facts), len(want))
+	}
+	for _, f := range rr.Facts {
+		w, ok := want[relation.FactID(f.ID)]
+		if !ok {
+			return fmt.Errorf("selftest: rank returned fact %d outside the lineage", f.ID)
+		}
+		if f.Score != w {
+			return fmt.Errorf("selftest: fact %d scored %v over HTTP, %v sequentially (batched serving must be bit-identical)", f.ID, f.Score, w)
+		}
+	}
+	return nil
+}
+
+func checkSimilar(client *http.Client, base, sql string) error {
+	body, err := json.Marshal(SimilarRequest{SQLA: sql, SQLB: sql})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/similar", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("selftest: similar request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("selftest: similar -> %s: %s", resp.Status, msg)
+	}
+	var sr SimilarResponse
+	return json.NewDecoder(resp.Body).Decode(&sr)
+}
+
+func checkHealthz(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("selftest: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("selftest: healthz -> %s", resp.Status)
+	}
+	return nil
+}
+
+// checkMetrics asserts the /metrics snapshot recorded the traffic just sent:
+// at least n rank requests and at least one scored batch. Skipped without a
+// live registry (the snapshot is then legitimately empty).
+func checkMetrics(client *http.Client, base string, n int64) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("selftest: metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("selftest: metrics -> %s", resp.Status)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("selftest: decode metrics: %w", err)
+	}
+	if obs.Metrics() == nil {
+		return nil
+	}
+	if got := snap.Counters["serve.req.rank"]; got < n {
+		return fmt.Errorf("selftest: serve.req.rank = %d, want >= %d", got, n)
+	}
+	if h, ok := snap.Histograms["serve.batch.size"]; !ok || h.Count < 1 {
+		return fmt.Errorf("selftest: serve.batch.size histogram recorded no dispatches")
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+// Package serve is the production ranking daemon behind cmd/serve: it wraps a
+// trained LearnShapley model in an HTTP/JSON service whose scoring hot path
+// runs on the repo's packed-batching machinery.
+//
+// Architecture (DESIGN.md §8 "Serving architecture"):
+//
+//	conns ──► handlers ──► bounded queue ──► coalescing dispatcher ──► replicas
+//	              │             │429                  │                  │
+//	              │        (backpressure)      flush on MaxBatch      RankOn
+//	              ◄──────────────────────────── or BatchWindow     (packed GEMMs)
+//
+// Concurrent requests from independent connections are admitted into one
+// bounded queue and coalesced into batches: the dispatcher flushes a batch
+// when it holds Config.MaxBatch requests or when Config.BatchWindow elapses
+// after the first one arrived. A batch fans out across per-worker model
+// replicas (core.Model.CloneForWorker: shared read-only weights, private
+// activation workspaces), and each lineage is scored through Model.RankOn —
+// the shared-prefix packed path, so with Config.RankBatch > 1 every lineage's
+// facts run as a few large nn.BatchedForwardWithPrefix GEMM passes on a
+// warmed, zero-allocation workspace. Config.Precision selects the serving
+// tier (f64 reference, f32, or int8) exactly as in offline evaluation.
+//
+// Determinism: replicas produce bit-identical scores to their parent
+// (core.ConcurrentRanker contract), and batching only changes which replica
+// scores which request, never the per-request computation. Coalesced
+// cross-request scores are therefore bit-identical to sequential per-request
+// core.RankOn for every batch window, batch size, worker count and precision
+// tier — enforced by TestServeParitySequential.
+//
+// Overload behaves like a production service, not like a benchmark harness:
+// when the queue is full, requests are rejected immediately with 429 and a
+// Retry-After header instead of queueing unboundedly. Shutdown stops
+// accepting, lets in-flight handlers finish, and drains every admitted job
+// before the dispatcher exits, so no accepted request is ever dropped. A new
+// model checkpoint can be swapped in at runtime (POST /admin/reload) via an
+// atomic pointer flip; dispatch workers re-clone their replicas from the new
+// weights before the next batch they score.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+// Config sizes the daemon. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// Workers is the number of scoring replicas (<= 0 means one per CPU).
+	// Replicas share the model's weight tensors and own their workspaces, so
+	// Workers bounds scoring concurrency without duplicating weights.
+	Workers int
+	// MaxBatch is the largest number of coalesced requests per dispatch.
+	// Values <= 1 disable cross-request batching: each admitted request is
+	// scored individually by the first free replica (the baseline mode the
+	// load generator compares against).
+	MaxBatch int
+	// BatchWindow is how long the dispatcher waits for more requests after
+	// the first one of a batch arrives. 0 flushes as soon as the queue has
+	// been emptied (pure backlog coalescing, no added latency).
+	BatchWindow time.Duration
+	// QueueCap bounds the admission queue; requests beyond it are rejected
+	// with 429 + Retry-After.
+	QueueCap int
+	// RankBatch and Precision configure the per-request scoring path exactly
+	// as the offline -rank-batch / -precision flags do.
+	RankBatch int
+	Precision string
+}
+
+// DefaultConfig returns serving defaults: batching on, a 2ms coalescing
+// window, and the packed per-lineage encoder path.
+func DefaultConfig() Config {
+	return Config{
+		Addr:        "127.0.0.1:0",
+		Workers:     0,
+		MaxBatch:    8,
+		BatchWindow: 2 * time.Millisecond,
+		QueueCap:    256,
+		RankBatch:   8,
+		Precision:   "f64",
+	}
+}
+
+// modelState is the atomically swapped unit of /admin/reload: the model and
+// the metadata the health/manifest endpoints report. The corpus database is
+// fixed for the server's lifetime (checkpoints are per-database; fact IDs in
+// responses resolve against it).
+type modelState struct {
+	model   *core.Model
+	version string
+	loaded  time.Time
+}
+
+// Server is one serving instance. Build with New, run with Start, stop with
+// Shutdown.
+type Server struct {
+	cfg    Config
+	corpus *dataset.Corpus
+	st     atomic.Pointer[modelState]
+	gen    atomic.Int64 // bumped on every swap; replicas re-clone when stale
+	b      *batcher
+	mux    *http.ServeMux
+
+	ln      net.Listener
+	httpSrv *http.Server
+
+	// Pre-resolved metric handles (nil = no-op without a live obs run).
+	mReloads *obs.Counter
+}
+
+// New assembles a server around a trained model and the corpus it was trained
+// over. The model itself is never used for scoring after Start — dispatch
+// workers clone replicas from it — so the caller must not run it concurrently
+// with the server either.
+func New(cfg Config, corpus *dataset.Corpus, model *core.Model) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = defaultWorkers()
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 1
+	}
+	if cfg.Precision == "" {
+		cfg.Precision = "f64"
+	}
+	reg := obs.Metrics()
+	s := &Server{
+		cfg:      cfg,
+		corpus:   corpus,
+		mReloads: reg.Counter("serve.reloads"),
+	}
+	s.install(model, "initial")
+	s.b = newBatcher(s)
+	s.mux = s.routes()
+	return s
+}
+
+// install points the server at a model, stamping the serving tier and packed
+// path onto its config so replicas inherit them.
+func (s *Server) install(model *core.Model, version string) {
+	model.Cfg.RankBatch = s.cfg.RankBatch
+	model.Cfg.Precision = s.cfg.Precision
+	s.st.Store(&modelState{model: model, version: version, loaded: time.Now()})
+	s.gen.Add(1)
+}
+
+// state returns the current model state (never nil after New).
+func (s *Server) state() *modelState { return s.st.Load() }
+
+// DB returns the database lineage fact IDs resolve against.
+func (s *Server) DB() *relation.Database { return s.corpus.DB }
+
+// SwapModel atomically replaces the serving model (model hot-swap). In-flight
+// batches finish on the old weights; every batch dispatched afterwards scores
+// on the new ones.
+func (s *Server) SwapModel(model *core.Model, version string) {
+	s.install(model, version)
+	s.mReloads.Add(1)
+}
+
+// Handler exposes the route table (tests drive it without a listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds the listener, launches the dispatch workers and begins serving.
+// It returns once the listener is bound; serving continues on background
+// goroutines until Shutdown.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.b.start()
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			obs.Infof("serve: %v\n", err)
+		}
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the base URL of the running server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Shutdown drains the server: it stops accepting connections, waits (up to
+// the context deadline) for in-flight handlers — and therefore for every
+// admitted scoring job — to finish, then stops the dispatch workers. After
+// Shutdown no request is ever dropped silently: each was either completed or
+// rejected with 429/503 at admission.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.httpSrv != nil {
+		// Handlers block on their job's completion, so Shutdown returning nil
+		// means the batcher queue holds no job a client is still waiting on.
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.b.close()
+	return err
+}

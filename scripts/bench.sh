@@ -314,6 +314,94 @@ EOF
     echo "wrote $TOUT"
 fi
 
+# ------------------------------------------------------------------ serve ----
+# The serving axis measures the production daemon end to end: the load
+# generator drives concurrent /rank requests over real TCP at cmd/serve and
+# records p50/p99 latency and throughput with cross-request dynamic batching
+# off (max-batch 1: one request per dispatch) vs on (max-batch 8, 2ms window),
+# and across the f64/f32/int8 serving tiers. Scores are bit-identical in every
+# configuration (TestServeParitySequential; cmd/serve -selftest re-checks the
+# exact binary under test), so every delta is pure scheduling + kernel-tier
+# effect. The single-worker axis is meaningful on any host; the multi-worker
+# sub-axis (independent scoring replicas) needs multiple cores and keeps the
+# honest skip marker on single-core machines.
+
+SVOUT=BENCH_serve.json
+echo "== serving benchmarks: dynamic batching off/on x precision (loadgen) =="
+
+serve_tmp=$(mktemp -d)
+trap 'rm -rf "$serve_tmp"' EXIT
+SERVE_CORPUS="-queries 12 -cases 3 -seed 1"
+SERVE_CLIENTS=4
+SERVE_REQS=120
+
+echo "-- training serving checkpoint (tiny model, saved once, reloaded per run)"
+go run ./cmd/serve $SERVE_CORPUS -dim 16 -layers 1 \
+    -pepochs 1 -ppairs 40 -epochs 1 -samples 120 \
+    -save "$serve_tmp/model.gob" -selftest 1 -quiet >/dev/null 2>/dev/null
+
+# serve_report <extra cmd/serve flags...> -> LoadReport JSON on stdout
+serve_report() {
+    go run ./cmd/serve $SERVE_CORPUS -load "$serve_tmp/model.gob" \
+        -loadgen -clients $SERVE_CLIENTS -requests $SERVE_REQS \
+        -workers 1 "$@" -quiet 2>/dev/null | tail -n 1
+}
+
+sv_rows=""
+sv_off=""
+sv_on=""
+for cfg in "1|0s|f64" "8|2ms|f64" "8|2ms|f32" "8|2ms|int8"; do
+    IFS='|' read -r mb win prec <<< "$cfg"
+    echo "-- workers=1 max-batch=$mb batch-window=$win precision=$prec"
+    rep=$(serve_report -max-batch "$mb" -batch-window "$win" -precision "$prec")
+    echo "   $rep"
+    sv_rows="$sv_rows    {\"workers\": 1, \"max_batch\": $mb, \"batch_window\": \"$win\", \"precision\": \"$prec\", \"report\": $rep},\n"
+    if [ "$mb" = 1 ]; then sv_off="$rep"; fi
+    if [ "$mb" = 8 ] && [ "$prec" = f64 ]; then sv_on="$rep"; fi
+done
+
+tp_off=$(printf '%s' "$sv_off" | sed 's/.*"throughput_rps": *\([0-9.]*\).*/\1/')
+tp_on=$(printf '%s' "$sv_on" | sed 's/.*"throughput_rps": *\([0-9.]*\).*/\1/')
+sv_speedup=$(awk -v a="$tp_on" -v b="$tp_off" 'BEGIN { printf "%.2f", (b > 0) ? a/b : 0 }')
+echo "-- batching throughput: off ${tp_off} rps, on ${tp_on} rps (${sv_speedup}x)"
+
+if [ "$CORES" -le 1 ] || [ "$N" -le 1 ]; then
+    sv_workers_skipped=true
+    echo "-- multi-worker serving sub-axis: skipped (cores=$CORES, N=$N)"
+else
+    sv_workers_skipped=false
+    echo "-- multi-worker serving sub-axis (workers=$N)"
+    for cfg in "1|0s|f64" "8|2ms|f64"; do
+        IFS='|' read -r mb win prec <<< "$cfg"
+        echo "-- workers=$N max-batch=$mb batch-window=$win precision=$prec"
+        rep=$(go run ./cmd/serve $SERVE_CORPUS -load "$serve_tmp/model.gob" \
+            -loadgen -clients $SERVE_CLIENTS -requests $SERVE_REQS \
+            -workers "$N" -max-batch "$mb" -batch-window "$win" -precision "$prec" \
+            -quiet 2>/dev/null | tail -n 1)
+        echo "   $rep"
+        sv_rows="$sv_rows    {\"workers\": $N, \"max_batch\": $mb, \"batch_window\": \"$win\", \"precision\": \"$prec\", \"report\": $rep},\n"
+    done
+fi
+sv_rows=$(printf '%b' "$sv_rows" | sed '$ s/,$//')
+
+cat > "$SVOUT" <<EOF
+{
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": $HOST_JSON,
+  "cores": $CORES,
+  "skipped": false,
+  "workers_axis_skipped": $sv_workers_skipped,
+  "clients": $SERVE_CLIENTS,
+  "requests": $SERVE_REQS,
+  "note": "Closed-loop loadgen (clients issue back-to-back) against cmd/serve over real TCP; latency quantiles over 200s only, 429 rejections counted separately. Ranking scores are bit-identical across batching configs, worker counts and windows (TestServeParitySequential); the f32/int8 tiers are tolerance-gated vs f64 (TestPrecisionParityGolden). Batching's throughput win comes from fanning a batch across scoring replicas, so at workers=1 (and on any single-core host) batching_throughput_speedup ~ 1.0 is the expected honest result — coalescing there only bounds dispatch overhead and tail latency; the multi-worker sub-axis that shows the win needs real cores and is skipped on single-core hosts.",
+  "batching_throughput_speedup": $sv_speedup,
+  "matrix": [
+$sv_rows
+  ]
+}
+EOF
+echo "wrote $SVOUT"
+
 # --------------------------------------------------------------- parallel ----
 
 OUT=BENCH_parallel.json

@@ -24,7 +24,7 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrency packages) =="
-go test -race ./internal/obs ./internal/parallel ./internal/dataset ./internal/nn ./internal/core ./internal/experiments
+go test -race ./internal/obs ./internal/parallel ./internal/dataset ./internal/nn ./internal/core ./internal/experiments ./internal/serve
 
 echo "== go test -race (batched + intra-op parallel paths) =="
 # The batched parity tests (inference and training — the 'Batched' pattern
@@ -124,6 +124,22 @@ go run ./cmd/tune -queries 16 -cases 2 -epochs 1 -samples 40 \
     -metrics-out "$manifest_dir/run.json" -trace -quiet 2>/dev/null
 REPRO_MANIFEST="$manifest_dir/run.json" \
     REPRO_MANIFEST_EXPECT_METRICS="nn.batch.,core.rank.,core.pretrain." \
+    go test ./internal/obs -run '^TestValidateManifestFile$' -v | tail -n 3
+
+echo "== serve e2e (daemon + concurrent traffic + manifest) =="
+# Full serving round trip: train a tiny model, start the daemon on an
+# ephemeral port with cross-request batching on, fire concurrent /rank
+# requests over real TCP and verify every response bit-for-bit against
+# sequential per-request ranking (cmd/serve -selftest exits non-zero on any
+# mismatch), then drain and flush the run manifest. The schema check asserts
+# the manifest recorded live serve.* metrics (request counters, batch-size
+# histogram) alongside the core ranking counters.
+go run ./cmd/serve -queries 12 -cases 3 -dim 8 -layers 1 \
+    -pepochs 1 -ppairs 16 -epochs 1 -samples 40 \
+    -workers 2 -max-batch 4 -batch-window 1ms -rank-batch 8 \
+    -selftest 8 -metrics-out "$manifest_dir/serve.json" -trace -quiet 2>/dev/null
+REPRO_MANIFEST="$manifest_dir/serve.json" \
+    REPRO_MANIFEST_EXPECT_METRICS="serve.req.,serve.batch.,serve.queue.,core.rank." \
     go test ./internal/obs -run '^TestValidateManifestFile$' -v | tail -n 3
 
 echo "== nn benchmark smoke =="
