@@ -7,9 +7,12 @@
 //	serve -selftest 16 -metrics-out run.json          # in-process e2e gate (ci.sh)
 //	serve -loadgen -clients 8 -requests 200           # measure latency/throughput
 //
-// Endpoints: POST /rank, /explain, /similar, /admin/reload; GET /healthz,
-// /metrics, /debug/manifest. Overload answers 429 + Retry-After; SIGINT and
-// SIGTERM drain in-flight batches before exit (and flush -metrics-out).
+// Endpoints: POST /rank, /explain, /similar, /admin/reload; GET /healthz
+// (?probe=readiness for the load-balancer signal), /metrics
+// (?format=prometheus for scrapers), /debug/manifest, /debug/trace (Chrome
+// trace-event dump of recent requests). Overload answers 429 + Retry-After;
+// SIGINT and SIGTERM drain in-flight batches before exit (and flush
+// -metrics-out).
 package main
 
 import (
@@ -57,6 +60,13 @@ func main() {
 	precision := flag.String("precision", "f64", "serving tier: f64 (reference), f32, or int8")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 
+	// Observability (the obs run flags -metrics-out/-trace/-v come from AddFlags).
+	slowMS := flag.Float64("slow-ms", 0, "log requests slower than this many ms with their trace decomposition (0 = off)")
+	traceRing := flag.Int("trace-ring", 256, "recent request traces kept for GET /debug/trace")
+	driftWindow := flag.Int("drift-window", 256, "rolling window of the online quality-drift monitors")
+	driftProbe := flag.Int("drift-probe", 8, "test-split lineages self-scored at model (re)load for the drift reference")
+	driftPSI := flag.Float64("drift-psi", 0.25, "PSI threshold at which /healthz reports status degraded")
+
 	// Modes.
 	selftest := flag.Int("selftest", 0, "fire this many concurrent self-requests, verify bit-parity with sequential ranking, then exit")
 	loadgen := flag.Bool("loadgen", false, "run the load generator and print a JSON report, then exit")
@@ -84,6 +94,11 @@ func main() {
 	rn.SetConfig("queue_cap", *queueCap)
 	rn.SetConfig("rank_batch", *rankBatch)
 	rn.SetConfig("precision", *precision)
+	rn.SetConfig("slow_ms", *slowMS)
+	rn.SetConfig("trace_ring", *traceRing)
+	rn.SetConfig("drift_window", *driftWindow)
+	rn.SetConfig("drift_probe", *driftProbe)
+	rn.SetConfig("drift_psi", *driftPSI)
 
 	kind := dataset.IMDB
 	if *kindFlag == "academic" {
@@ -112,6 +127,11 @@ func main() {
 		QueueCap:    *queueCap,
 		RankBatch:   *rankBatch,
 		Precision:   *precision,
+		SlowMS:      *slowMS,
+		TraceRing:   *traceRing,
+		DriftWindow: *driftWindow,
+		DriftProbe:  *driftProbe,
+		DriftPSI:    *driftPSI,
 	}
 	if *loadgen && *target != "" {
 		// External target: no in-process server needed.

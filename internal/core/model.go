@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -306,6 +307,23 @@ func (m *Model) RankOn(db *relation.Database, in Input) shapley.Values {
 		return m.rankOnBatched(db, in)
 	}
 	return m.rankOn(db, in)
+}
+
+// RankCtx is Rank with a request context: when ctx carries an
+// obs.TraceContext (a request threading through a serving pipeline), the
+// scoring pass records itself as a "core.rank" stage on that trace, so a
+// request's latency decomposition shows how much of it was model time. The
+// scores are exactly Rank's — trace recording is passive.
+func (m *Model) RankCtx(ctx context.Context, in Input) shapley.Values {
+	return m.RankOnCtx(ctx, m.db(), in)
+}
+
+// RankOnCtx is RankOn with trace-context pass-through (see RankCtx).
+func (m *Model) RankOnCtx(ctx context.Context, db *relation.Database, in Input) shapley.Values {
+	if tc := obs.TraceFrom(ctx); tc != nil {
+		defer tc.StageTimer("core.rank")()
+	}
+	return m.RankOn(db, in)
 }
 
 // db returns the corpus database the model was trained over.

@@ -3,6 +3,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -169,9 +170,11 @@ func Build(cfg Config) (*Corpus, error) {
 		for _, q := range c.Queries {
 			cases += len(q.Cases)
 		}
-		reg.Gauge("dataset.corpus." + cfg.Kind.String() + ".queries").Set(float64(len(c.Queries)))
-		reg.Gauge("dataset.corpus." + cfg.Kind.String() + ".cases").Set(float64(cases))
-		reg.Gauge("dataset.corpus." + cfg.Kind.String() + ".facts").Set(float64(db.NumFacts()))
+		// Lowercased to satisfy the obs metric-naming lint (obs.LintMetricName).
+		kind := strings.ToLower(cfg.Kind.String())
+		reg.Gauge("dataset.corpus." + kind + ".queries").Set(float64(len(c.Queries)))
+		reg.Gauge("dataset.corpus." + kind + ".cases").Set(float64(cases))
+		reg.Gauge("dataset.corpus." + kind + ".facts").Set(float64(db.NumFacts()))
 	}
 	return c, nil
 }

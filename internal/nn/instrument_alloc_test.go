@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,11 +9,13 @@ import (
 )
 
 // TestEncoderStepZeroAllocsInstrumented is the instrumented sibling of
-// TestEncoderStepZeroAllocs: with a LIVE metrics registry installed, the
-// warmed forward+backward step must still allocate 0 bytes — handle
-// resolution happens once in NewEncoder and every per-step record is an
-// atomic add on a pre-resolved counter. This pins the package's "bounded O(1),
-// 0 bytes" promise for the enabled path, not just the no-op default.
+// TestEncoderStepZeroAllocs: with a LIVE metrics registry installed AND a live
+// request trace context attached to the step's context, the warmed
+// forward+backward step must still allocate 0 bytes — handle resolution
+// happens once in NewEncoder, every per-step record is an atomic add on a
+// pre-resolved counter, and obs.TraceFrom is an allocation-free context
+// lookup. This pins the package's "bounded O(1), 0 bytes" promise for the
+// fully-enabled serving path (registry + tracing), not just the no-op default.
 func TestEncoderStepZeroAllocsInstrumented(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under the race detector")
@@ -20,6 +23,13 @@ func TestEncoderStepZeroAllocsInstrumented(t *testing.T) {
 	run := obs.NewRun("alloc-test", obs.NewRegistry(), nil, nil)
 	obs.Install(run)
 	defer obs.Uninstall()
+
+	// A live trace context on the scoring context, exactly as the serve
+	// pipeline attaches one per request. The measured loop consults it the way
+	// hot-path code may (TraceFrom), which must not allocate; recording stages
+	// inside the step would, so the contract is lookup-free-recording-outside.
+	tc := obs.NewTraceContext("")
+	ctx := obs.ContextWithTrace(context.Background(), tc)
 
 	rng := rand.New(rand.NewSource(20))
 	ps := &Params{}
@@ -36,6 +46,9 @@ func TestEncoderStepZeroAllocsInstrumented(t *testing.T) {
 		encoderStep(enc, head, tokens, segments, mask)
 	}
 	allocs := testing.AllocsPerRun(20, func() {
+		if obs.TraceFrom(ctx) == nil {
+			t.Error("trace context lost from scoring context")
+		}
 		encoderStep(enc, head, tokens, segments, mask)
 	})
 	if allocs != 0 {

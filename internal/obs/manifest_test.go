@@ -73,3 +73,39 @@ func TestValidateManifestFile(t *testing.T) {
 		}
 	}
 }
+
+// TestManifestMetricNamesLint runs the metric-naming lint over a live registry
+// snapshot. With REPRO_MANIFEST set (scripts/ci.sh points it at the manifests
+// of the tiny end-to-end runs) it lints every metric those runs actually
+// registered — so a new metric whose name breaks the convention, or whose
+// Prometheus normalization collides with an existing one, fails CI with the
+// offending name spelled out. Without the variable it lints a
+// representatively-named local registry, covering the lint path in plain
+// `go test` runs.
+func TestManifestMetricNamesLint(t *testing.T) {
+	var snap *Snapshot
+	if path := os.Getenv("REPRO_MANIFEST"); path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read manifest %s: %v", path, err)
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Metrics == nil {
+			t.Fatalf("manifest %s has no metrics snapshot to lint", path)
+		}
+		snap = m.Metrics
+	} else {
+		reg := NewRegistry()
+		reg.Counter("serve.req.rank").Add(1)
+		reg.Gauge("obs.drift.score.psi").Set(0)
+		reg.Histogram("serve.stage.queue_wait_ms", ExpBuckets(0.05, 2, 4)).Observe(1)
+		local := reg.Snapshot()
+		snap = &local
+	}
+	for _, err := range LintSnapshot(snap) {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// The registry's native naming convention: lowercase dotted segments,
+// underscores within a segment, never a leading digit. NormalizeMetricName
+// maps this convention injectively onto the Prometheus exposition charset
+// (dots become underscores), and LintMetricName enforces it so the mapping
+// stays injective — a name that already contains the exposition separator in
+// the wrong place would silently collide after normalization.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$`)
+
+// LintMetricName checks one registry metric name against the repo convention
+// `^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$` (e.g. "serve.req.rank",
+// "nn.encoder.forward_passes").
+func LintMetricName(name string) error {
+	if !metricNameRE.MatchString(name) {
+		return fmt.Errorf("obs: metric name %q violates convention %s", name, metricNameRE)
+	}
+	return nil
+}
+
+// NormalizeMetricName converts a registry name to its Prometheus exposition
+// form: dots become underscores ("serve.req.rank" -> "serve_req_rank"). Any
+// other character outside [a-zA-Z0-9_:] is also replaced by an underscore and
+// a leading digit gains one, so even unlinted names render legally.
+func NormalizeMetricName(name string) string {
+	out := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// LintSnapshot lints every metric name in a snapshot and verifies the
+// normalized exposition names stay collision-free across counters, gauges and
+// histograms (histograms additionally reserve their _bucket/_sum/_count
+// series). scripts/ci.sh feeds the e2e run manifests through this via
+// TestManifestMetricNamesLint, so a new metric with a non-conforming name
+// fails CI with the offending name spelled out.
+func LintSnapshot(snap *Snapshot) []error {
+	var errs []error
+	seen := make(map[string]string) // normalized -> original
+	claim := func(norm, orig string) {
+		if prev, ok := seen[norm]; ok && prev != orig {
+			errs = append(errs, fmt.Errorf("obs: metrics %q and %q collide as %q after normalization", prev, orig, norm))
+			return
+		}
+		seen[norm] = orig
+	}
+	lint := func(name string) {
+		if err := LintMetricName(name); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if snap == nil {
+		return nil
+	}
+	for name := range snap.Counters {
+		lint(name)
+		claim(NormalizeMetricName(name), name)
+	}
+	for name := range snap.Gauges {
+		lint(name)
+		claim(NormalizeMetricName(name), name)
+	}
+	for name := range snap.Histograms {
+		lint(name)
+		norm := NormalizeMetricName(name)
+		claim(norm, name)
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			claim(norm+suffix, name)
+		}
+	}
+	for name := range snap.Series {
+		lint(name)
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}
+
+// formatPromValue renders a sample value in shortest float64 round-trip form,
+// matching the manifest's number formatting.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative `_bucket{le="..."}` series (the registry stores
+// per-bucket counts; exposition buckets are running totals ending in
+// `le="+Inf"`) plus `_sum` and `_count`. Metric families are emitted in
+// sorted normalized-name order so the output is deterministic and
+// golden-testable. Series (per-epoch curves) have no exposition equivalent
+// and stay manifest-only.
+func WritePrometheus(w io.Writer, snap *Snapshot) error {
+	if snap == nil {
+		return nil
+	}
+	type family struct {
+		norm, typ string
+		write     func(io.Writer) error
+	}
+	var fams []family
+
+	for name, v := range snap.Counters {
+		norm, val := NormalizeMetricName(name), v
+		fams = append(fams, family{norm: norm, typ: "counter", write: func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", norm, val)
+			return err
+		}})
+	}
+	for name, v := range snap.Gauges {
+		norm, val := NormalizeMetricName(name), v
+		fams = append(fams, family{norm: norm, typ: "gauge", write: func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %s\n", norm, formatPromValue(val))
+			return err
+		}})
+	}
+	for name, h := range snap.Histograms {
+		norm, hs := NormalizeMetricName(name), h
+		fams = append(fams, family{norm: norm, typ: "histogram", write: func(w io.Writer) error {
+			var cum int64
+			for _, b := range hs.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", norm, b.UpperBound, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", norm, formatPromValue(hs.Sum)); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count %d\n", norm, hs.Count)
+			return err
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].norm < fams[j].norm })
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.norm, f.typ); err != nil {
+			return err
+		}
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte against
+// testdata/prometheus.golden: family ordering, TYPE lines, cumulative
+// histogram buckets ending in le="+Inf", and name normalization of a metric
+// that violates the repo convention (it must still render legally).
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.req.rank").Add(3)
+	reg.Counter("9weird.Name").Add(7) // unlinted: leading digit + uppercase
+	reg.Gauge("serve.queue.depth").Set(1.5)
+	h := reg.Histogram("serve.latency_ms.rank", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(10)
+
+	snap := reg.Snapshot()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, &snap); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want (%s) ---\n%s", buf.Bytes(), golden, want)
+	}
+}
+
+// TestWritePrometheusNil covers the nil snapshot (renders nothing, no error).
+func TestWritePrometheusNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil snapshot rendered %q, want empty", buf.String())
+	}
+}
+
+func TestLintMetricName(t *testing.T) {
+	valid := []string{
+		"serve.req.rank",
+		"serve.stage.queue_wait_ms",
+		"nn.encoder.forward_passes",
+		"obs.drift.top1_margin.psi",
+		"a",
+	}
+	for _, name := range valid {
+		if err := LintMetricName(name); err != nil {
+			t.Errorf("LintMetricName(%q) = %v, want nil", name, err)
+		}
+	}
+	invalid := []string{
+		"",
+		"Serve.req",       // uppercase
+		"9lives",          // leading digit
+		"serve..req",      // empty segment
+		"serve.req.",      // trailing dot
+		".serve",          // leading dot
+		"serve req",       // space
+		"serve.req-total", // dash
+	}
+	for _, name := range invalid {
+		if err := LintMetricName(name); err == nil {
+			t.Errorf("LintMetricName(%q) = nil, want error", name)
+		}
+	}
+}
+
+func TestNormalizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"serve.req.rank":            "serve_req_rank",
+		"serve.stage.queue_wait_ms": "serve_stage_queue_wait_ms",
+		"9lives":                    "_9lives",
+		"a-b c":                     "a_b_c",
+	}
+	for in, want := range cases {
+		if got := NormalizeMetricName(in); got != want {
+			t.Errorf("NormalizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestLintSnapshot covers the three failure classes the ci lint exists for:
+// convention violations, cross-metric normalization collisions, and histogram
+// suffix reservations (_bucket/_sum/_count).
+func TestLintSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.req.rank").Add(1)
+	reg.Gauge("serve.queue.depth").Set(0)
+	reg.Histogram("serve.latency_ms.rank", []float64{1}).Observe(0)
+	snap := reg.Snapshot()
+	if errs := LintSnapshot(&snap); len(errs) != 0 {
+		t.Fatalf("clean snapshot linted with errors: %v", errs)
+	}
+
+	reg.Counter("Bad.Name").Add(1)
+	snap = reg.Snapshot()
+	if errs := LintSnapshot(&snap); len(errs) == 0 {
+		t.Error("uppercase metric name passed the lint")
+	}
+
+	collide := NewRegistry()
+	collide.Counter("a.b_c").Add(1)
+	collide.Gauge("a.b.c").Set(0)
+	snap = collide.Snapshot()
+	if errs := LintSnapshot(&snap); len(errs) == 0 {
+		t.Error("a.b_c vs a.b.c normalization collision not reported")
+	}
+
+	suffix := NewRegistry()
+	suffix.Histogram("x.y", []float64{1}).Observe(0)
+	suffix.Counter("x.y_count").Add(1)
+	snap = suffix.Snapshot()
+	if errs := LintSnapshot(&snap); len(errs) == 0 {
+		t.Error("counter colliding with a histogram's _count series not reported")
+	}
+
+	if errs := LintSnapshot(nil); errs != nil {
+		t.Errorf("LintSnapshot(nil) = %v, want nil", errs)
+	}
+}

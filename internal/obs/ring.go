@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// RequestTrace is the completed trace of one served request: identity, outcome
+// and the per-stage latency decomposition its TraceContext accumulated.
+type RequestTrace struct {
+	TraceID string `json:"trace_id"`
+	// Endpoint is the logical handler name ("rank", "explain", ...).
+	Endpoint string `json:"endpoint"`
+	Status   int    `json:"status"`
+	// StartUnixUS anchors the trace on the wall clock (Unix microseconds) so
+	// traces from one ring snapshot share a timebase.
+	StartUnixUS int64   `json:"start_unix_us"`
+	TotalUS     int64   `json:"total_us"`
+	Stages      []Stage `json:"stages"`
+}
+
+// TraceRing is a bounded in-memory buffer of the most recent request traces —
+// the store behind /debug/trace. Writes are O(1) and never grow past the
+// capacity chosen at construction; a busy daemon overwrites oldest-first. The
+// nil ring is the no-op recorder.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []RequestTrace
+	next int
+	full bool
+}
+
+// NewTraceRing returns a ring holding up to n traces (n < 1 is treated as 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]RequestTrace, n)}
+}
+
+// Add records one completed trace, overwriting the oldest once full. No-op on
+// the nil ring.
+func (r *TraceRing) Add(t RequestTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered traces oldest-first; nil on the nil ring.
+func (r *TraceRing) Snapshot() []RequestTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]RequestTrace(nil), r.buf[:r.next]...)
+	}
+	out := make([]RequestTrace, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// chromeEvent is one complete ("ph":"X") event in Chrome's trace-event JSON
+// format — chrome://tracing and Perfetto load the output of WriteChromeTrace
+// directly. Timestamps and durations are microseconds by the format's spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope of the trace-event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the ring's traces as Chrome trace-event JSON: one
+// row (tid) per request, one complete event per request plus one per stage,
+// all on the shared Unix-microsecond timebase. Safe on the nil ring (writes an
+// empty trace document).
+func (r *TraceRing) WriteChromeTrace(w io.Writer) error {
+	traces := r.Snapshot()
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for tid, t := range traces {
+		args := map[string]any{"trace_id": t.TraceID, "status": t.Status}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: t.Endpoint, Ph: "X", TS: t.StartUnixUS, Dur: t.TotalUS,
+			PID: 1, TID: tid, Args: args,
+		})
+		for _, s := range t.Stages {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: s.Name, Ph: "X", TS: t.StartUnixUS + s.StartUS, Dur: s.DurUS,
+				PID: 1, TID: tid, Args: map[string]any{"trace_id": t.TraceID},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func ringTrace(i int) RequestTrace {
+	return RequestTrace{
+		TraceID:     fmt.Sprintf("%016x", i),
+		Endpoint:    "rank",
+		Status:      200,
+		StartUnixUS: int64(i) * 1000,
+		TotalUS:     100,
+		Stages: []Stage{
+			{Name: "queue_wait", StartUS: 0, DurUS: 10},
+			{Name: "score", StartUS: 10, DurUS: 80},
+		},
+	}
+}
+
+func TestTraceRingOverwritesOldest(t *testing.T) {
+	r := NewTraceRing(3)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh ring snapshot has %d entries, want 0", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		r.Add(ringTrace(i))
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot has %d entries, want capacity 3", len(got))
+	}
+	for i, tr := range got {
+		if want := ringTrace(i + 2).TraceID; tr.TraceID != want {
+			t.Errorf("snapshot[%d].TraceID = %s, want %s (oldest-first)", i, tr.TraceID, want)
+		}
+	}
+}
+
+func TestTraceRingPartial(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Add(ringTrace(0))
+	r.Add(ringTrace(1))
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].TraceID != ringTrace(0).TraceID {
+		t.Errorf("partial ring snapshot = %+v, want traces 0,1 in order", got)
+	}
+}
+
+func TestTraceRingNilSafe(t *testing.T) {
+	var r *TraceRing
+	r.Add(ringTrace(0))
+	if r.Snapshot() != nil {
+		t.Error("nil ring snapshot should be nil")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil ring chrome trace is not valid JSON: %v", err)
+	}
+}
+
+// TestWriteChromeTrace checks the document shape Chrome/Perfetto require: a
+// traceEvents array of complete ("X") events on a microsecond timebase — one
+// per request plus one per stage, stages offset from the request start.
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewTraceRing(4)
+	r.Add(ringTrace(0))
+	r.Add(ringTrace(1))
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	// 2 requests x (1 request event + 2 stage events).
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("emitted %d events, want 6", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q has ph %q, want X (complete)", ev.Name, ev.Ph)
+		}
+		if ev.Args["trace_id"] == "" {
+			t.Errorf("event %q missing trace_id arg", ev.Name)
+		}
+	}
+	// Second request's score stage sits at its start + the stage offset.
+	want := ringTrace(1).StartUnixUS + 10
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "score" && ev.TS == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no score stage event at ts=%d (request start + stage offset)", want)
+	}
+}

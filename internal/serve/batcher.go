@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -29,11 +30,21 @@ const (
 // job is one admitted scoring request. The submitting handler blocks on done;
 // the dispatch worker that scores the job fills the result field for its kind
 // and closes done exactly once.
+//
+// The timestamps decompose the job's life for the request trace: tSubmit is
+// stamped at admission, tDequeue when a dispatcher pulls the job off the
+// queue, tScore when its replica starts scoring, tDone when scoring finished.
+// queue-wait = tDequeue-tSubmit, batch-wait (time spent coalescing) =
+// tScore-tDequeue, score = tDone-tScore. The handler reads them only after
+// done is closed, so the stamps never race.
 type job struct {
 	kind jobKind
 	in   core.Input // jobRank
 	simA string     // jobSim
 	simB string
+
+	tc                               *obs.TraceContext // nil outside an instrumented handler
+	tSubmit, tDequeue, tScore, tDone time.Time
 
 	scores shapley.Values
 	sims   map[string]float64
@@ -41,14 +52,21 @@ type job struct {
 }
 
 // run executes the job on one replica. Replicas are not safe for concurrent
-// use; the dispatcher guarantees one job per replica at a time.
+// use; the dispatcher guarantees one job per replica at a time. The job's
+// trace context rides into the model through the scoring context, so the
+// model-side stage ("core.rank") lands on the same trace as the serve-side
+// decomposition.
 func (j *job) run(m *core.Model) {
+	j.tScore = time.Now()
 	switch j.kind {
 	case jobRank:
-		j.scores = m.Rank(j.in)
+		j.scores = m.RankCtx(obs.ContextWithTrace(context.Background(), j.tc), j.in)
 	case jobSim:
+		end := j.tc.StageTimer("core.similar")
 		j.sims = m.PredictSimilarities(j.simA, j.simB)
+		end()
 	}
+	j.tDone = time.Now()
 }
 
 // replicaSet owns one dispatch goroutine's model replicas and re-clones them
@@ -148,6 +166,7 @@ func (b *batcher) submit(j *job) error {
 	if b.stopped {
 		return ErrStopped
 	}
+	j.tSubmit = time.Now()
 	select {
 	case b.jobs <- j:
 		b.mJobs.Add(1)
@@ -187,6 +206,7 @@ func (b *batcher) runCoalescing() {
 		if !ok {
 			return
 		}
+		j.tDequeue = time.Now()
 		batch = append(batch[:0], j)
 		b.collect(&batch)
 		b.score(rs, batch)
@@ -204,6 +224,7 @@ func (b *batcher) collect(batch *[]*job) {
 				if !ok {
 					return
 				}
+				j.tDequeue = time.Now()
 				*batch = append(*batch, j)
 			default:
 				return
@@ -219,6 +240,7 @@ func (b *batcher) collect(batch *[]*job) {
 			if !ok {
 				return
 			}
+			j.tDequeue = time.Now()
 			*batch = append(*batch, j)
 		case <-timer.C:
 			return
@@ -247,6 +269,7 @@ func (b *batcher) runPerRequest() {
 	defer b.wg.Done()
 	rs := &replicaSet{srv: b.srv}
 	for j := range b.jobs {
+		j.tDequeue = time.Now()
 		b.mBatch.Observe(1)
 		b.mDepth.Set(float64(len(b.jobs)))
 		j.run(rs.get(1)[0])

@@ -89,20 +89,102 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/manifest", s.handleManifest)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	return mux
 }
 
+// statusWriter records the response status and the instant of the first byte
+// out, so the instrument wrapper can decompose encode/write time without
+// touching individual handlers.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	first  time.Time
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+		sw.first = time.Now()
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+		sw.first = time.Now()
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
 // instrument wraps a handler with the endpoint's request counter and latency
-// histogram. Handles are resolved once at route construction (obs contract).
+// histogram, and roots the request's trace: an inbound X-Trace-Id is adopted
+// (and echoed on the response), otherwise a fresh ID is minted. The trace
+// context rides in the request context through the admission queue to the
+// scoring replica; after the handler returns, the completed trace — stages
+// plus the final encode/write segment — lands in the /debug/trace ring and the
+// access/slow logs. Handles are resolved once at route construction (obs
+// contract).
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	reg := obs.Metrics()
 	reqs := reg.Counter("serve.req." + name)
 	lat := reg.Histogram("serve.latency_ms."+name, obs.ExpBuckets(0.25, 2, 14))
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Add(1)
-		start := time.Now()
-		h(w, r)
-		lat.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+		tc := obs.NewTraceContext(r.Header.Get(obs.TraceHeader))
+		w.Header().Set(obs.TraceHeader, tc.TraceID)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(obs.ContextWithTrace(r.Context(), tc)))
+		end := time.Now()
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if !sw.first.IsZero() {
+			wr := end.Sub(sw.first)
+			tc.AddStage("write", sw.first, wr)
+			s.mWrite.Observe(durMS(wr))
+		}
+		total := end.Sub(tc.Begin())
+		lat.Observe(durMS(total))
+		s.ring.Add(obs.RequestTrace{
+			TraceID:     tc.TraceID,
+			Endpoint:    name,
+			Status:      sw.status,
+			StartUnixUS: tc.Begin().UnixMicro(),
+			TotalUS:     total.Microseconds(),
+			Stages:      tc.Stages(),
+		})
+		s.logRequest(name, tc, sw.status, durMS(total))
+	}
+}
+
+// logRequest emits the structured JSON access-log line for one completed
+// request (debug level, so -v 2) and — when the request breached the -slow-ms
+// threshold — the always-on slow-request line plus the serve.req.slow counter.
+// The line is built only when someone will read it.
+func (s *Server) logRequest(name string, tc *obs.TraceContext, status int, totalMS float64) {
+	slow := s.cfg.SlowMS > 0 && totalMS >= s.cfg.SlowMS
+	if slow {
+		s.mSlow.Add(1)
+	}
+	if !slow && obs.Live() == nil {
+		return
+	}
+	line, _ := json.Marshal(map[string]any{
+		"trace_id":      tc.TraceID,
+		"endpoint":      name,
+		"status":        status,
+		"total_ms":      totalMS,
+		"queue_wait_ms": durMS(tc.StageDur("queue_wait")),
+		"batch_wait_ms": durMS(tc.StageDur("batch_wait")),
+		"score_ms":      durMS(tc.StageDur("score")),
+	})
+	obs.Debugf("serve: access %s\n", line)
+	if slow {
+		obs.Infof("serve: slow %s\n", line)
 	}
 }
 
@@ -126,7 +208,9 @@ func (s *Server) writeError(w http.ResponseWriter, code int, format string, args
 
 // admit runs one job through the admission queue and waits for its result.
 // The returned status is 0 on success; otherwise the HTTP status the caller
-// must answer with (already written).
+// must answer with (already written). On success, the job's timestamp
+// decomposition is turned into trace stages and the serve.stage.* histograms —
+// the handler side, not the dispatcher, pays the recording cost.
 func (s *Server) admit(w http.ResponseWriter, j *job) int {
 	j.done = make(chan struct{})
 	switch err := s.b.submit(j); err {
@@ -140,6 +224,15 @@ func (s *Server) admit(w http.ResponseWriter, j *job) int {
 		return http.StatusServiceUnavailable
 	}
 	<-j.done
+	qw := j.tDequeue.Sub(j.tSubmit)
+	bw := j.tScore.Sub(j.tDequeue)
+	sc := j.tDone.Sub(j.tScore)
+	j.tc.AddStage("queue_wait", j.tSubmit, qw)
+	j.tc.AddStage("batch_wait", j.tDequeue, bw)
+	j.tc.AddStage("score", j.tScore, sc)
+	s.mQueueWait.Observe(durMS(qw))
+	s.mBatchWait.Observe(durMS(bw))
+	s.mScore.Observe(durMS(sc))
 	return 0
 }
 
@@ -205,10 +298,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	j := &job{kind: jobRank, in: in}
+	j := &job{kind: jobRank, in: in, tc: obs.TraceFrom(r.Context())}
 	if s.admit(w, j) != 0 {
 		return
 	}
+	s.observeRanking(j.scores)
 	s.writeJSON(w, http.StatusOK, RankResponse{
 		Query: in.Query.SQL(),
 		Tuple: target.String(),
@@ -226,10 +320,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "explain: %v", err)
 		return
 	}
-	j := &job{kind: jobRank, in: in}
+	j := &job{kind: jobRank, in: in, tc: obs.TraceFrom(r.Context())}
 	if s.admit(w, j) != 0 {
 		return
 	}
+	s.observeRanking(j.scores)
 	s.writeJSON(w, http.StatusOK, ExplainResponse{
 		Query: in.Query.SQL(),
 		Tuple: target.String(),
@@ -252,7 +347,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "sql_a and sql_b are required")
 		return
 	}
-	j := &job{kind: jobSim, simA: req.SQLA, simB: req.SQLB}
+	j := &job{kind: jobSim, simA: req.SQLA, simB: req.SQLB, tc: obs.TraceFrom(r.Context())}
 	if s.admit(w, j) != 0 {
 		return
 	}
@@ -293,10 +388,37 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz answers both health probes. Plain GET /healthz is liveness:
+// 200 whenever the process can answer at all — even while draining or
+// quality-degraded, because restarting a slow-but-alive daemon throws away its
+// queue. /healthz?probe=readiness is the load-balancer signal: 503 while
+// draining (Shutdown has begun), 200 otherwise. The body always carries the
+// full picture: readiness and drain state, model identity and swap generation,
+// queue depth, and the online drift verdicts. "degraded" means a monitored
+// distribution (ranking scores or top-1 margins) has walked away from its
+// load-time reference — the daemon still answers, but the answers deserve
+// scrutiny, so degradation never turns liveness off.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.state()
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
+	s.updatePrefixRate()
+	drift := []obs.DriftStatus{s.driftScore.Evaluate(), s.driftMargin.Evaluate()}
+	status := "ok"
+	for _, d := range drift {
+		if d.Degraded {
+			status = "degraded"
+		}
+	}
+	ready := !s.draining.Load() && st != nil
+	code := http.StatusOK
+	if r.URL.Query().Get("probe") == "readiness" && !ready {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]any{
+		"status":      status,
+		"live":        true,
+		"ready":       ready,
+		"draining":    s.draining.Load(),
+		"generation":  s.gen.Load(),
 		"model":       st.model.Name(),
 		"version":     st.version,
 		"loaded_utc":  st.loaded.UTC().Format(time.RFC3339),
@@ -304,14 +426,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"max_batch":   s.cfg.MaxBatch,
 		"workers":     s.cfg.Workers,
 		"precision":   s.cfg.Precision,
+		"drift":       drift,
 	})
 }
 
-// handleMetrics exports the live obs registry as JSON — per-endpoint latency
-// histograms, the batch-size histogram, queue-depth gauge and every library
-// metric (core.rank.*, nn.batch.*, ...). Empty maps without a live registry.
+// handleMetrics exports the live obs registry. The default is the repo's JSON
+// snapshot — per-endpoint latency histograms, the serve.stage.* decomposition,
+// batch-size histogram, queue-depth gauge and every library metric
+// (core.rank.*, nn.batch.*, obs.drift.*). ?format=prometheus renders the same
+// snapshot in the Prometheus text exposition format (0.0.4) for scrapers.
+// Empty without a live registry.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, obs.Metrics().Snapshot())
+	snap := obs.Metrics().Snapshot()
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w, &snap); err != nil {
+			obs.Infof("serve: write prometheus: %v\n", err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+// handleTrace dumps the ring of recent request traces. The default rendering
+// is Chrome trace-event JSON — load it straight into chrome://tracing or
+// Perfetto to see the queue-wait / batch-wait / score / write decomposition of
+// every recent request on a shared timeline. ?format=raw returns the ring's
+// RequestTrace records verbatim for programmatic consumers.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "raw" {
+		s.writeJSON(w, http.StatusOK, s.ring.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.ring.WriteChromeTrace(w); err != nil {
+		obs.Metrics().Counter("serve.err.encode").Add(1)
+		obs.Infof("serve: write trace: %v\n", err)
+	}
 }
 
 // handleManifest exports the run manifest of the installed obs run, the same

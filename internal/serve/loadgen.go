@@ -34,7 +34,10 @@ type LoadConfig struct {
 
 // LoadReport is the measured outcome of one load run. Latency quantiles are
 // over successful (200) requests only; rejected requests (429 backpressure)
-// are counted separately — hiding them would make overload look fast.
+// are counted AND timed separately — folding their (fast) turnarounds into the
+// success percentiles would make overload look fast, and dropping their
+// latency entirely would hide how long rejected users actually waited from
+// their scheduled arrival under -rate.
 type LoadReport struct {
 	Clients       int     `json:"clients"`
 	Requests      int     `json:"requests"`
@@ -45,7 +48,13 @@ type LoadReport struct {
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Ms         float64 `json:"p50_ms"`
 	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
 	MeanMs        float64 `json:"mean_ms"`
+	// Rejected-request latency (429s), measured on the same scheduled-arrival
+	// clock as the success quantiles. Zero when nothing was rejected.
+	RejectedP50Ms  float64 `json:"rejected_p50_ms"`
+	RejectedP99Ms  float64 `json:"rejected_p99_ms"`
+	RejectedMeanMs float64 `json:"rejected_mean_ms"`
 }
 
 // RankBodies renders /rank request bodies for the corpus's test cases — the
@@ -140,8 +149,8 @@ func RunLoad(cfg LoadConfig, bodies [][]byte) (*LoadReport, error) {
 	wall := time.Since(start)
 
 	rep := &LoadReport{Clients: cfg.Clients, Requests: cfg.Requests, DurationSec: wall.Seconds()}
-	var okLat []float64
-	var sum float64
+	var okLat, rejLat []float64
+	var sum, rejSum float64
 	for i, st := range status {
 		switch {
 		case st == http.StatusOK:
@@ -150,6 +159,8 @@ func RunLoad(cfg LoadConfig, bodies [][]byte) (*LoadReport, error) {
 			sum += latMs[i]
 		case st == http.StatusTooManyRequests:
 			rep.Rejected++
+			rejLat = append(rejLat, latMs[i])
+			rejSum += latMs[i]
 		default:
 			rep.Errors++
 		}
@@ -162,6 +173,13 @@ func RunLoad(cfg LoadConfig, bodies [][]byte) (*LoadReport, error) {
 		rep.MeanMs = sum / float64(len(okLat))
 		rep.P50Ms = quantile(okLat, 0.50)
 		rep.P99Ms = quantile(okLat, 0.99)
+		rep.P999Ms = quantile(okLat, 0.999)
+	}
+	if len(rejLat) > 0 {
+		sort.Float64s(rejLat)
+		rep.RejectedMeanMs = rejSum / float64(len(rejLat))
+		rep.RejectedP50Ms = quantile(rejLat, 0.50)
+		rep.RejectedP99Ms = quantile(rejLat, 0.99)
 	}
 	return rep, nil
 }

@@ -158,6 +158,10 @@ func checkSimilar(client *http.Client, base, sql string) error {
 	return json.NewDecoder(resp.Body).Decode(&sr)
 }
 
+// checkHealthz asserts the health document of a serving (non-draining) daemon:
+// alive, ready, and a coherent status verdict. "degraded" is accepted — a
+// drifting model is a monitoring finding, not a selftest failure — but any
+// other non-ok status is.
 func checkHealthz(client *http.Client, base string) error {
 	resp, err := client.Get(base + "/healthz")
 	if err != nil {
@@ -166,6 +170,20 @@ func checkHealthz(client *http.Client, base string) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("selftest: healthz -> %s", resp.Status)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Live   bool   `json:"live"`
+		Ready  bool   `json:"ready"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("selftest: decode healthz: %w", err)
+	}
+	if !h.Live || !h.Ready {
+		return fmt.Errorf("selftest: healthz live=%v ready=%v, want both true on a serving daemon", h.Live, h.Ready)
+	}
+	if h.Status != "ok" && h.Status != "degraded" {
+		return fmt.Errorf("selftest: healthz status %q, want ok or degraded", h.Status)
 	}
 	return nil
 }
@@ -194,6 +212,13 @@ func checkMetrics(client *http.Client, base string, n int64) error {
 	}
 	if h, ok := snap.Histograms["serve.batch.size"]; !ok || h.Count < 1 {
 		return fmt.Errorf("selftest: serve.batch.size histogram recorded no dispatches")
+	}
+	if h, ok := snap.Histograms["serve.stage.score_ms"]; !ok || h.Count < n {
+		var got int64
+		if ok {
+			got = h.Count
+		}
+		return fmt.Errorf("selftest: serve.stage.score_ms recorded %d stages, want >= %d (trace decomposition missing)", got, n)
 	}
 	return nil
 }

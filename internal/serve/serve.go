@@ -40,6 +40,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sync/atomic"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/obs"
 	"repro/internal/relation"
+	"repro/internal/shapley"
 )
 
 // Config sizes the daemon. The zero value is not usable; start from
@@ -76,6 +78,23 @@ type Config struct {
 	// as the offline -rank-batch / -precision flags do.
 	RankBatch int
 	Precision string
+	// SlowMS logs any request whose total latency is at or above this many
+	// milliseconds as a structured slow-request line (and counts it in
+	// serve.req.slow). 0 disables the slow log; every request still lands in
+	// the stage histograms and the trace ring.
+	SlowMS float64
+	// TraceRing bounds the in-memory ring of recent request traces served at
+	// /debug/trace (<= 0 means 256).
+	TraceRing int
+	// DriftWindow is the rolling-window size of the online quality-drift
+	// monitors (<= 0 means 256); DriftProbe is how many test-split lineages
+	// are self-scored at model (re)load to capture the reference score and
+	// top-1-margin distributions (<= 0 means 8); DriftPSI is the
+	// population-stability-index threshold at or above which /healthz reports
+	// degraded (<= 0 means 0.25).
+	DriftWindow int
+	DriftProbe  int
+	DriftPSI    float64
 }
 
 // DefaultConfig returns serving defaults: batching on, a 2ms coalescing
@@ -89,6 +108,10 @@ func DefaultConfig() Config {
 		QueueCap:    256,
 		RankBatch:   8,
 		Precision:   "f64",
+		TraceRing:   256,
+		DriftWindow: 256,
+		DriftProbe:  8,
+		DriftPSI:    0.25,
 	}
 }
 
@@ -115,8 +138,28 @@ type Server struct {
 	ln      net.Listener
 	httpSrv *http.Server
 
+	// draining flips at the start of Shutdown: the process is still live, but
+	// readiness (the load-balancer signal) is false — see handleHealthz.
+	draining atomic.Bool
+
+	// Request-observability state: the bounded ring of recent request traces
+	// (/debug/trace) and the online quality-drift monitors over the ranking
+	// score and top-1-margin distributions. Always on — both are passive and
+	// bounded — independent of whether a metrics registry is live.
+	ring        *obs.TraceRing
+	driftScore  *obs.DriftMonitor
+	driftMargin *obs.DriftMonitor
+
 	// Pre-resolved metric handles (nil = no-op without a live obs run).
-	mReloads *obs.Counter
+	mReloads    *obs.Counter
+	mSlow       *obs.Counter
+	mQueueWait  *obs.Histogram // serve.stage.queue_wait_ms
+	mBatchWait  *obs.Histogram // serve.stage.batch_wait_ms
+	mScore      *obs.Histogram // serve.stage.score_ms
+	mWrite      *obs.Histogram // serve.stage.write_ms
+	mPrefixRate *obs.Gauge     // serve.prefix_hit_rate
+	cPrefixHits *obs.Counter   // shared storage with core.rank.prefix_hits
+	cPrefixFb   *obs.Counter   // shared storage with core.rank.prefix_fallbacks
 }
 
 // New assembles a server around a trained model and the corpus it was trained
@@ -136,11 +179,35 @@ func New(cfg Config, corpus *dataset.Corpus, model *core.Model) *Server {
 	if cfg.Precision == "" {
 		cfg.Precision = "f64"
 	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 256
+	}
+	if cfg.DriftWindow <= 0 {
+		cfg.DriftWindow = 256
+	}
+	if cfg.DriftProbe <= 0 {
+		cfg.DriftProbe = 8
+	}
+	if cfg.DriftPSI <= 0 {
+		cfg.DriftPSI = 0.25
+	}
 	reg := obs.Metrics()
+	stageBuckets := obs.ExpBuckets(0.05, 2, 16)
 	s := &Server{
-		cfg:      cfg,
-		corpus:   corpus,
-		mReloads: reg.Counter("serve.reloads"),
+		cfg:         cfg,
+		corpus:      corpus,
+		ring:        obs.NewTraceRing(cfg.TraceRing),
+		driftScore:  obs.NewDriftMonitor("score", obs.DriftConfig{Window: cfg.DriftWindow, PSIThreshold: cfg.DriftPSI}),
+		driftMargin: obs.NewDriftMonitor("top1_margin", obs.DriftConfig{Window: cfg.DriftWindow, PSIThreshold: cfg.DriftPSI}),
+		mReloads:    reg.Counter("serve.reloads"),
+		mSlow:       reg.Counter("serve.req.slow"),
+		mQueueWait:  reg.Histogram("serve.stage.queue_wait_ms", stageBuckets),
+		mBatchWait:  reg.Histogram("serve.stage.batch_wait_ms", stageBuckets),
+		mScore:      reg.Histogram("serve.stage.score_ms", stageBuckets),
+		mWrite:      reg.Histogram("serve.stage.write_ms", stageBuckets),
+		mPrefixRate: reg.Gauge("serve.prefix_hit_rate"),
+		cPrefixHits: reg.Counter("core.rank.prefix_hits"),
+		cPrefixFb:   reg.Counter("core.rank.prefix_fallbacks"),
 	}
 	s.install(model, "initial")
 	s.b = newBatcher(s)
@@ -149,12 +216,103 @@ func New(cfg Config, corpus *dataset.Corpus, model *core.Model) *Server {
 }
 
 // install points the server at a model, stamping the serving tier and packed
-// path onto its config so replicas inherit them.
+// path onto its config so replicas inherit them, and captures the drift
+// reference from the new model BEFORE it becomes visible to dispatchers — the
+// probe replica is private, so reference capture never races live scoring.
 func (s *Server) install(model *core.Model, version string) {
 	model.Cfg.RankBatch = s.cfg.RankBatch
 	model.Cfg.Precision = s.cfg.Precision
+	s.captureDriftReference(model)
 	s.st.Store(&modelState{model: model, version: version, loaded: time.Now()})
 	s.gen.Add(1)
+}
+
+// captureDriftReference self-scores a small probe set (test-split lineages —
+// inputs the model was NOT fine-tuned on) on a private replica of the
+// incoming model and records the resulting score and top-1-margin
+// distributions as the drift reference. The rolling windows reset with the
+// reference: observations made against the previous model describe the
+// previous model.
+func (s *Server) captureDriftReference(model *core.Model) {
+	probe := probeInputs(s.corpus, s.cfg.DriftProbe)
+	if len(probe) == 0 {
+		s.driftScore.SetReference(nil)
+		s.driftMargin.SetReference(nil)
+		return
+	}
+	rep := model.CloneForWorker()
+	var scores, margins []float64
+	for _, in := range probe {
+		vals := rep.Rank(in)
+		for _, v := range vals {
+			scores = append(scores, v)
+		}
+		if m, ok := top1Margin(vals); ok {
+			margins = append(margins, m)
+		}
+	}
+	s.driftScore.SetReference(scores)
+	s.driftMargin.SetReference(margins)
+}
+
+// probeInputs prepares up to n scoring inputs from the corpus's test split —
+// the same request mix selftest and the load generator draw from.
+func probeInputs(c *dataset.Corpus, n int) []core.Input {
+	var out []core.Input
+	for _, qi := range c.Test {
+		q := c.Queries[qi]
+		for _, cs := range q.Cases {
+			out = append(out, core.Input{
+				SQL:         q.SQL,
+				Query:       q.Query,
+				TupleValues: cs.Tuple.Values,
+				Lineage:     cs.Tuple.Lineage(),
+			})
+			if len(out) >= n {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// top1Margin returns the gap between the highest and second-highest score of
+// one ranking — the monitored confidence proxy. ok is false for lineages with
+// fewer than two facts.
+func top1Margin(vals shapley.Values) (float64, bool) {
+	if len(vals) < 2 {
+		return 0, false
+	}
+	top1, top2 := math.Inf(-1), math.Inf(-1)
+	for _, v := range vals {
+		if v > top1 {
+			top1, top2 = v, top1
+		} else if v > top2 {
+			top2 = v
+		}
+	}
+	return top1 - top2, true
+}
+
+// observeRanking feeds one served ranking into the drift monitors. Purely
+// read-only over the scores — serving output is bit-identical with monitoring
+// on (TestServeParitySequential runs with it enabled).
+func (s *Server) observeRanking(vals shapley.Values) {
+	for _, v := range vals {
+		s.driftScore.Observe(v)
+	}
+	if m, ok := top1Margin(vals); ok {
+		s.driftMargin.Observe(m)
+	}
+}
+
+// updatePrefixRate refreshes the serve.prefix_hit_rate gauge from the shared
+// prefix-reuse counters (no-op without a live registry).
+func (s *Server) updatePrefixRate() {
+	hits, fb := s.cPrefixHits.Value(), s.cPrefixFb.Value()
+	if total := hits + fb; total > 0 {
+		s.mPrefixRate.Set(float64(hits) / float64(total))
+	}
 }
 
 // state returns the current model state (never nil after New).
@@ -210,6 +368,7 @@ func (s *Server) URL() string { return "http://" + s.Addr() }
 // Shutdown no request is ever dropped silently: each was either completed or
 // rejected with 429/503 at admission.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true) // readiness drops first; liveness stays up
 	var err error
 	if s.httpSrv != nil {
 		// Handlers block on their job's completion, so Shutdown returning nil

@@ -393,7 +393,7 @@ cat > "$SVOUT" <<EOF
   "workers_axis_skipped": $sv_workers_skipped,
   "clients": $SERVE_CLIENTS,
   "requests": $SERVE_REQS,
-  "note": "Closed-loop loadgen (clients issue back-to-back) against cmd/serve over real TCP; latency quantiles over 200s only, 429 rejections counted separately. Ranking scores are bit-identical across batching configs, worker counts and windows (TestServeParitySequential); the f32/int8 tiers are tolerance-gated vs f64 (TestPrecisionParityGolden). Batching's throughput win comes from fanning a batch across scoring replicas, so at workers=1 (and on any single-core host) batching_throughput_speedup ~ 1.0 is the expected honest result — coalescing there only bounds dispatch overhead and tail latency; the multi-worker sub-axis that shows the win needs real cores and is skipped on single-core hosts.",
+  "note": "Closed-loop loadgen (clients issue back-to-back) against cmd/serve over real TCP; latency quantiles (p50/p99/p999) over 200s only, 429 rejections counted and timed separately (rejected_p50_ms/rejected_p99_ms/rejected_mean_ms measure rejected requests from their scheduled arrival, never folded into the success percentiles). Ranking scores are bit-identical across batching configs, worker counts and windows (TestServeParitySequential); the f32/int8 tiers are tolerance-gated vs f64 (TestPrecisionParityGolden). Batching's throughput win comes from fanning a batch across scoring replicas, so at workers=1 (and on any single-core host) batching_throughput_speedup ~ 1.0 is the expected honest result — coalescing there only bounds dispatch overhead and tail latency; the multi-worker sub-axis that shows the win needs real cores and is skipped on single-core hosts.",
   "batching_throughput_speedup": $sv_speedup,
   "matrix": [
 $sv_rows

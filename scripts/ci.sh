@@ -35,6 +35,14 @@ echo "== go test -race (batched + intra-op parallel paths) =="
 go test -race ./internal/nn -run 'Batched|ParKernels|ForEachRows'
 go test -race ./internal/core -run 'Batched'
 
+echo "== go test -race (request observability: traces, ring, drift, exposition) =="
+# The trace context is mutated from both sides of the admission queue (handler
+# and dispatch goroutines), the trace ring and drift monitors are written by
+# concurrent handlers — drive their unit tests and the serve-side threading
+# test explicitly under the race detector.
+go test -race ./internal/obs -run 'TraceContext|TraceID|TraceRing|ChromeTrace|Drift|PSI|Prom|Lint'
+go test -race ./internal/serve -run 'TraceIDThreadsThroughBatch|HealthzReadiness|MetricsPrometheus'
+
 echo "== go test -race (blocked kernel tier + precision engines) =="
 # The blocked-kernel serial-parity test sweeps intra-op worker counts over the
 # row-partitioned blocked GEMMs, and the low-precision batched test does the
@@ -53,8 +61,9 @@ if ! echo "$alloc_out" | grep -q -- '--- PASS: TestEncoderStepZeroAllocs'; then
     exit 1
 fi
 # The instrumented sibling pins the same 0 allocs/op with a LIVE metrics
-# registry installed, so observability can never silently reintroduce
-# per-step allocations.
+# registry installed AND a live request trace context attached to the scoring
+# context, so observability (metrics or tracing) can never silently
+# reintroduce per-step allocations.
 alloc_out=$(go test ./internal/nn -run '^TestEncoderStepZeroAllocsInstrumented$' -v)
 echo "$alloc_out" | tail -n 3
 if ! echo "$alloc_out" | grep -q -- '--- PASS: TestEncoderStepZeroAllocsInstrumented'; then
@@ -125,6 +134,11 @@ go run ./cmd/tune -queries 16 -cases 2 -epochs 1 -samples 40 \
 REPRO_MANIFEST="$manifest_dir/run.json" \
     REPRO_MANIFEST_EXPECT_METRICS="nn.batch.,core.rank.,core.pretrain." \
     go test ./internal/obs -run '^TestValidateManifestFile$' -v | tail -n 3
+# Metric-naming lint over the live registry snapshot the run actually
+# produced: every registered name must follow the repo convention and survive
+# Prometheus normalization without collisions.
+REPRO_MANIFEST="$manifest_dir/run.json" \
+    go test ./internal/obs -run '^TestManifestMetricNamesLint$' -v | tail -n 3
 
 echo "== serve e2e (daemon + concurrent traffic + manifest) =="
 # Full serving round trip: train a tiny model, start the daemon on an
@@ -133,14 +147,17 @@ echo "== serve e2e (daemon + concurrent traffic + manifest) =="
 # sequential per-request ranking (cmd/serve -selftest exits non-zero on any
 # mismatch), then drain and flush the run manifest. The schema check asserts
 # the manifest recorded live serve.* metrics (request counters, batch-size
-# histogram) alongside the core ranking counters.
+# histogram, the serve.stage.* latency decomposition) and the obs.drift.*
+# quality monitors alongside the core ranking counters.
 go run ./cmd/serve -queries 12 -cases 3 -dim 8 -layers 1 \
     -pepochs 1 -ppairs 16 -epochs 1 -samples 40 \
     -workers 2 -max-batch 4 -batch-window 1ms -rank-batch 8 \
     -selftest 8 -metrics-out "$manifest_dir/serve.json" -trace -quiet 2>/dev/null
 REPRO_MANIFEST="$manifest_dir/serve.json" \
-    REPRO_MANIFEST_EXPECT_METRICS="serve.req.,serve.batch.,serve.queue.,core.rank." \
+    REPRO_MANIFEST_EXPECT_METRICS="serve.req.,serve.batch.,serve.queue.,serve.stage.,core.rank.,obs.drift." \
     go test ./internal/obs -run '^TestValidateManifestFile$' -v | tail -n 3
+REPRO_MANIFEST="$manifest_dir/serve.json" \
+    go test ./internal/obs -run '^TestManifestMetricNamesLint$' -v | tail -n 3
 
 echo "== nn benchmark smoke =="
 go test -run '^$' -bench . -benchtime=1x -benchmem ./internal/nn
