@@ -13,6 +13,12 @@
 // trace-event dump of recent requests). Overload answers 429 + Retry-After;
 // SIGINT and SIGTERM drain in-flight batches before exit (and flush
 // -metrics-out).
+//
+// Coalesced batches are scored through the cross-request packed path
+// (-pack-requests, default on): each replica runs one core.RankMany over its
+// slice of the batch, so facts of different requests share multi-prefix GEMM
+// passes — bit-identical to per-request scoring either way. -tls-cert/-tls-key
+// serve HTTPS; -admin-token puts /admin/* behind a bearer token.
 package main
 
 import (
@@ -57,8 +63,12 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long a batch waits for more requests after its first")
 	queueCap := flag.Int("queue-cap", 256, "admission queue bound; overflow answers 429 + Retry-After")
 	rankBatch := flag.Int("rank-batch", 8, "pack up to this many lineage facts per batched encoder pass (0 or 1 = per-fact)")
+	packRequests := flag.Bool("pack-requests", true, "score each coalesced batch slice through one cross-request packed pass (core.RankMany); false = request-granular dispatch")
 	precision := flag.String("precision", "f64", "serving tier: f64 (reference), f32, or int8")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	adminToken := flag.String("admin-token", "", "bearer token required on /admin/* endpoints (empty = open)")
+	tlsCert := flag.String("tls-cert", "", "PEM certificate path; with -tls-key, serve HTTPS instead of HTTP")
+	tlsKey := flag.String("tls-key", "", "PEM private key path (must be set together with -tls-cert)")
 
 	// Observability (the obs run flags -metrics-out/-trace/-v come from AddFlags).
 	slowMS := flag.Float64("slow-ms", 0, "log requests slower than this many ms with their trace decomposition (0 = off)")
@@ -74,6 +84,7 @@ func main() {
 	clients := flag.Int("clients", 8, "loadgen: concurrent clients")
 	requests := flag.Int("requests", 200, "loadgen: total request budget")
 	rate := flag.Float64("rate", 0, "loadgen: open-loop arrival rate in requests/sec (0 = closed loop)")
+	lineages := flag.Int("loadgen-lineages", 0, "loadgen: distinct (query, tuple) request bodies to cycle through (0 = every test case); 1 = single-prefix loop, larger = mixed-prefix stream")
 
 	o := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -93,6 +104,7 @@ func main() {
 	rn.SetConfig("batch_window", batchWindow.String())
 	rn.SetConfig("queue_cap", *queueCap)
 	rn.SetConfig("rank_batch", *rankBatch)
+	rn.SetConfig("pack_requests", *packRequests)
 	rn.SetConfig("precision", *precision)
 	rn.SetConfig("slow_ms", *slowMS)
 	rn.SetConfig("trace_ring", *traceRing)
@@ -120,22 +132,26 @@ func main() {
 		*loadPath, *savePath)
 
 	scfg := serve.Config{
-		Addr:        *addr,
-		Workers:     *workers,
-		MaxBatch:    *maxBatch,
-		BatchWindow: *batchWindow,
-		QueueCap:    *queueCap,
-		RankBatch:   *rankBatch,
-		Precision:   *precision,
-		SlowMS:      *slowMS,
-		TraceRing:   *traceRing,
-		DriftWindow: *driftWindow,
-		DriftProbe:  *driftProbe,
-		DriftPSI:    *driftPSI,
+		Addr:         *addr,
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		BatchWindow:  *batchWindow,
+		QueueCap:     *queueCap,
+		RankBatch:    *rankBatch,
+		PackRequests: *packRequests,
+		Precision:    *precision,
+		AdminToken:   *adminToken,
+		TLSCert:      *tlsCert,
+		TLSKey:       *tlsKey,
+		SlowMS:       *slowMS,
+		TraceRing:    *traceRing,
+		DriftWindow:  *driftWindow,
+		DriftProbe:   *driftProbe,
+		DriftPSI:     *driftPSI,
 	}
 	if *loadgen && *target != "" {
 		// External target: no in-process server needed.
-		runLoadgen(corpus, *target, *clients, *requests, *rate)
+		runLoadgen(corpus, *target, *clients, *requests, *rate, *lineages)
 		return
 	}
 	if *selftest > 0 || *loadgen {
@@ -159,9 +175,24 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rn.Log.Infof("selftest ok: %d concurrent requests bit-identical to sequential ranking\n", *selftest)
+		rn.Log.Infof("selftest ok: %d concurrent requests bit-identical to sequential ranking (pack-requests=%v)\n",
+			*selftest, scfg.PackRequests)
+		// Sweep the packing axis: the same corpus and model must be
+		// bit-identical to sequential ranking with the dispatch mode flipped,
+		// so one selftest run gates both serve paths.
+		scfg.PackRequests = !scfg.PackRequests
+		srv2 := serve.New(scfg, corpus, model)
+		if err := srv2.Start(); err != nil {
+			log.Fatal(err)
+		}
+		err = serve.SelfTest(srv2, *selftest)
+		shutdown(srv2, *drainTimeout)
+		if err != nil {
+			log.Fatalf("selftest with pack-requests=%v: %v", scfg.PackRequests, err)
+		}
+		rn.Log.Infof("selftest ok: pack-requests=%v sweep also bit-identical\n", scfg.PackRequests)
 	case *loadgen:
-		runLoadgen(corpus, srv.URL(), *clients, *requests, *rate)
+		runLoadgen(corpus, srv.URL(), *clients, *requests, *rate, *lineages)
 		shutdown(srv, *drainTimeout)
 	default:
 		sig := make(chan os.Signal, 1)
@@ -260,9 +291,11 @@ func buildModel(rn *obs.Run, corpus *dataset.Corpus, cfg core.ModelConfig, loadP
 }
 
 // runLoadgen drives traffic at the target and prints one JSON report line —
-// scripts/bench.sh collects these into BENCH_serve.json rows.
-func runLoadgen(corpus *dataset.Corpus, baseURL string, clients, requests int, rate float64) {
-	bodies, err := serve.RankBodies(corpus, 0)
+// scripts/bench.sh collects these into BENCH_serve.json rows. lineages bounds
+// how many distinct request bodies the run cycles through (0 = all test
+// cases), controlling the prefix diversity cross-request packing sees.
+func runLoadgen(corpus *dataset.Corpus, baseURL string, clients, requests int, rate float64, lineages int) {
+	bodies, err := serve.RankBodies(corpus, lineages)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -99,6 +99,33 @@ func BenchmarkRankLineageBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkRankManyBatched ranks the same cases through one RankManyOn call
+// per iteration: the cross-request packed path, where facts of all lineages
+// share one RankBatch packing budget (multi-prefix chunks). Bit-identical
+// outputs (TestRankManyGolden); compare against BenchmarkRankLineageBatched
+// (the same inputs as per-request RankOn calls) for the cross-request
+// packing effect at equal intra-op settings.
+func BenchmarkRankManyBatched(b *testing.B) {
+	benchRankSetup(b)
+	workers := 1
+	if v := os.Getenv("REPRO_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			workers = n
+		}
+	}
+	nn.SetIntraOp(workers, 0)
+	benchRank.m.Cfg.RankBatch = 8
+	defer func() {
+		nn.SetIntraOp(1, 0)
+		benchRank.m.Cfg.RankBatch = 0
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRank.m.RankManyOn(benchRank.c.DB, benchRank.ins)
+	}
+}
+
 // benchRankPrecision ranks every case through RankOn on the given precision
 // tier (batched when RankBatch > 1). The engine is built before the timer so
 // the loop measures steady-state scoring, like a warmed serving process.

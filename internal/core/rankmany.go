@@ -1,0 +1,245 @@
+package core
+
+import (
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/shapley"
+)
+
+// Cross-request ranking: RankMany scores SEVERAL lineages in one call and
+// packs their fast-path facts into shared encoder passes via
+// nn.BatchedForwardMultiPrefix, so a coalesced serving batch becomes a few
+// giant GEMM passes instead of one packed pass per request. Each lineage
+// still owns its prefix cache and its truncation-eligibility decisions —
+// lineageScorer.eligibleFactLen stays the single source of truth, so the
+// fast/fallback split per fact is exactly RankOn's, and fallback facts run
+// the identical per-lineage reference pass. Scores are therefore
+// bit-identical to calling RankOn once per input, on every precision tier.
+
+// multiBatcher accumulates fast-path facts across lineages and flushes them
+// in multi-prefix packed passes. Facts are queued in input order, so each
+// pass sees lineages as consecutive runs of the same cache. Slot buffers are
+// reused across chunks; queued state holds only owned token slices, mask
+// views of trueMask, and PrefixCache pointers (whose rows are clones), so
+// interleaved fallback passes and prefix builds — both of which reset the
+// encoder workspace — cannot corrupt a pending chunk.
+type multiBatcher struct {
+	m *Model
+
+	pcs      []*nn.PrefixCache
+	ids      []relation.FactID
+	outs     []shapley.Values
+	sufs     [][]int
+	sufSegs  [][]int
+	masks    [][]bool
+	trueMask []bool // shared all-true backing; masks[i] slices it
+	n        int
+}
+
+func newMultiBatcher(m *Model) *multiBatcher {
+	b := &multiBatcher{m: m, trueMask: make([]bool, m.Cfg.MaxSeqLen)}
+	for i := range b.trueMask {
+		b.trueMask[i] = true
+	}
+	return b
+}
+
+// add queues one fast-path fact of lineage s (scattering its score into out)
+// and flushes when the chunk is full. The caller has already built s's
+// prefix cache.
+func (b *multiBatcher) add(s *lineageScorer, out shapley.Values, id relation.FactID, fToks []string, fLen int) {
+	if b.n == len(b.ids) {
+		b.pcs = append(b.pcs, nil)
+		b.ids = append(b.ids, 0)
+		b.outs = append(b.outs, nil)
+		b.sufs = append(b.sufs, nil)
+		b.sufSegs = append(b.sufSegs, nil)
+		b.masks = append(b.masks, nil)
+	}
+	b.pcs[b.n] = s.pc
+	b.ids[b.n] = id
+	b.outs[b.n] = out
+	b.sufs[b.n], b.sufSegs[b.n] = appendFactSuffix(
+		b.sufs[b.n][:0], b.sufSegs[b.n][:0], b.m.tok, fToks, fLen)
+	b.masks[b.n] = b.trueMask[:s.prefixLen+len(b.sufs[b.n])]
+	b.n++
+	if b.n == b.m.Cfg.RankBatch {
+		b.flush()
+	}
+}
+
+// flush encodes the queued facts — possibly spanning several lineages — in
+// one multi-prefix pass and scatters their scores back to the per-request
+// value maps.
+func (b *multiBatcher) flush() {
+	if b.n == 0 {
+		return
+	}
+	hidden, offs := b.m.enc.BatchedForwardMultiPrefix(b.pcs[:b.n], b.sufs[:b.n], b.sufSegs[:b.n], b.masks[:b.n])
+	for i := 0; i < b.n; i++ {
+		b.outs[i][b.ids[i]] = b.m.shapHead.ForwardAt(hidden, offs[i]) / b.m.Cfg.TargetScale
+		b.pcs[i], b.outs[i] = nil, nil // don't retain request state across calls
+	}
+	b.n = 0
+}
+
+// RankMany ranks many lineages against the training database, packing their
+// facts into cross-request encoder passes (see RankManyOn).
+func (m *Model) RankMany(ins []Input) []shapley.Values {
+	return m.RankManyOn(m.db(), ins)
+}
+
+// RankManyOn ranks several lineages whose fact IDs refer to the given
+// database. With Cfg.RankBatch > 1, the fast-path facts of ALL inputs share
+// one packing budget: chunks of up to RankBatch sequences flush through
+// nn.BatchedForwardMultiPrefix regardless of which lineage contributed them,
+// so small lineages no longer cap GEMM size. out[i] corresponds to ins[i].
+// Scores are bit-identical to len(ins) independent RankOn calls on every
+// precision tier — packing changes scheduling, never arithmetic (see
+// internal/nn/multiprefix.go for the structural argument). With RankBatch
+// <= 1 there is nothing to pack and each input takes the plain path.
+func (m *Model) RankManyOn(db *relation.Database, ins []Input) []shapley.Values {
+	out := make([]shapley.Values, len(ins))
+	if m.Cfg.RankBatch <= 1 {
+		for i, in := range ins {
+			out[i] = m.RankOn(db, in)
+		}
+		return out
+	}
+	prec, err := nn.ParsePrecision(m.Cfg.Precision)
+	if err != nil {
+		panic(err) // validated at every construction boundary, as in RankOn
+	}
+	if prec != nn.PrecisionF64 {
+		return m.rankManyLowPrec(db, ins, prec, out)
+	}
+	reg := obs.Metrics()
+	mLineages := reg.Counter("core.rank.lineages")
+	mFacts := reg.Counter("core.rank.facts")
+	b := newMultiBatcher(m)
+	for i, in := range ins {
+		s := newLineageScorer(m, in)
+		mLineages.Add(1)
+		mFacts.Add(int64(len(in.Lineage)))
+		out[i] = make(shapley.Values, len(in.Lineage))
+		for _, id := range in.Lineage {
+			f := db.Fact(id)
+			if f == nil {
+				out[i][id] = 0
+				continue
+			}
+			fToks := m.tokensForFact(db, id, f)
+			fLen, ok := s.eligibleFactLen(fToks)
+			if !ok {
+				s.mFallbacks.Add(1)
+				out[i][id] = m.predictShapley(s.qToks, s.tToks, fToks)
+				continue
+			}
+			s.mHits.Add(1)
+			if s.pc == nil {
+				s.buildPrefix()
+			}
+			b.add(s, out[i], id, fToks, fLen)
+		}
+	}
+	b.flush()
+	return out
+}
+
+// multiBatcher32 mirrors multiBatcher for the reduced precision tiers.
+type multiBatcher32 struct {
+	m    *Model
+	enc  *nn.Encoder32
+	head *nn.Head32
+
+	pcs      []*nn.PrefixCache32
+	ids      []relation.FactID
+	outs     []shapley.Values
+	sufs     [][]int
+	sufSegs  [][]int
+	masks    [][]bool
+	trueMask []bool
+	n        int
+}
+
+func newMultiBatcher32(m *Model, enc *nn.Encoder32, head *nn.Head32) *multiBatcher32 {
+	b := &multiBatcher32{m: m, enc: enc, head: head, trueMask: make([]bool, m.Cfg.MaxSeqLen)}
+	for i := range b.trueMask {
+		b.trueMask[i] = true
+	}
+	return b
+}
+
+func (b *multiBatcher32) add(lp *lowPrecScorer, out shapley.Values, id relation.FactID, fToks []string, fLen int) {
+	if b.n == len(b.ids) {
+		b.pcs = append(b.pcs, nil)
+		b.ids = append(b.ids, 0)
+		b.outs = append(b.outs, nil)
+		b.sufs = append(b.sufs, nil)
+		b.sufSegs = append(b.sufSegs, nil)
+		b.masks = append(b.masks, nil)
+	}
+	b.pcs[b.n] = lp.pc
+	b.ids[b.n] = id
+	b.outs[b.n] = out
+	b.sufs[b.n], b.sufSegs[b.n] = appendFactSuffix(
+		b.sufs[b.n][:0], b.sufSegs[b.n][:0], b.m.tok, fToks, fLen)
+	b.masks[b.n] = b.trueMask[:lp.s.prefixLen+len(b.sufs[b.n])]
+	b.n++
+	if b.n == b.m.Cfg.RankBatch {
+		b.flush()
+	}
+}
+
+func (b *multiBatcher32) flush() {
+	if b.n == 0 {
+		return
+	}
+	hidden, offs := b.enc.BatchedForwardMultiPrefix(b.pcs[:b.n], b.sufs[:b.n], b.sufSegs[:b.n], b.masks[:b.n])
+	scale := b.m.Cfg.TargetScale
+	for i := 0; i < b.n; i++ {
+		b.outs[i][b.ids[i]] = b.head.ForwardAt(hidden, offs[i]) / scale
+		b.pcs[i], b.outs[i] = nil, nil
+	}
+	b.n = 0
+}
+
+// rankManyLowPrec is the reduced-precision arm of RankManyOn: the same
+// cross-lineage packing through the f32/int8 engine, tier-internally
+// bit-identical to per-input rankOnLowPrec.
+func (m *Model) rankManyLowPrec(db *relation.Database, ins []Input, prec nn.Precision, out []shapley.Values) []shapley.Values {
+	enc, head := m.lowPrecEngine(prec)
+	reg := obs.Metrics()
+	mLineages := reg.Counter("core.rank.lineages")
+	mFacts := reg.Counter("core.rank.facts")
+	b := newMultiBatcher32(m, enc, head)
+	for i, in := range ins {
+		lp := newLowPrecScorer(m, in, prec)
+		s := lp.s
+		mLineages.Add(1)
+		mFacts.Add(int64(len(in.Lineage)))
+		out[i] = make(shapley.Values, len(in.Lineage))
+		for _, id := range in.Lineage {
+			f := db.Fact(id)
+			if f == nil {
+				out[i][id] = 0
+				continue
+			}
+			fToks := m.tokensForFact(db, id, f)
+			fLen, ok := s.eligibleFactLen(fToks)
+			if !ok {
+				s.mFallbacks.Add(1)
+				out[i][id] = lp.predictFull(fToks)
+				continue
+			}
+			s.mHits.Add(1)
+			if lp.pc == nil {
+				lp.buildPrefix()
+			}
+			b.add(lp, out[i], id, fToks, fLen)
+		}
+	}
+	b.flush()
+	return out
+}

@@ -80,6 +80,9 @@ type Encoder struct {
 	mBatchPasses, mBatchSeqs     *obs.Counter
 	mBatchTrain                  *obs.Counter
 	hBatchSize                   *obs.Histogram
+	mMBatchPasses, mMBatchSeqs   *obs.Counter
+	mMBatchPrefixes              *obs.Counter
+	hMBatchSize                  *obs.Histogram
 }
 
 type encoderLayer struct {
@@ -112,6 +115,10 @@ func NewEncoder(cfg Config, ps *Params, rng *rand.Rand) *Encoder {
 	e.mBatchSeqs = reg.Counter("nn.batch.sequences")
 	e.mBatchTrain = reg.Counter("nn.batch.train_passes")
 	e.hBatchSize = reg.Histogram("nn.batch.size", obs.ExpBuckets(1, 2, 8))
+	e.mMBatchPasses = reg.Counter("nn.mbatch.passes")
+	e.mMBatchSeqs = reg.Counter("nn.mbatch.sequences")
+	e.mMBatchPrefixes = reg.Counter("nn.mbatch.prefixes")
+	e.hMBatchSize = reg.Histogram("nn.mbatch.size", obs.ExpBuckets(1, 2, 8))
 	e.tokEmb.initNormal(rng, 0.02)
 	e.posEmb.initNormal(rng, 0.02)
 	e.segEmb.initNormal(rng, 0.02)

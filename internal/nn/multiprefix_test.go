@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// multiPrefixFixture builds a few embedded prefixes of different lengths on
+// the shared test encoder. The caches stay valid across forward passes
+// (EmbedPrefix clones its rows out of the workspace).
+func multiPrefixFixture(enc *Encoder, rng *rand.Rand, n int) []*PrefixCache {
+	pcs := make([]*PrefixCache, n)
+	for i := range pcs {
+		pLen := 4 + rng.Intn(6)
+		prefix := make([]int, pLen)
+		pSegs := make([]int, pLen)
+		for j := range prefix {
+			prefix[j] = rng.Intn(enc.Cfg.VocabSize)
+			if j > pLen/2 {
+				pSegs[j] = 1
+			}
+		}
+		pcs[i] = enc.EmbedPrefix(prefix, pSegs)
+	}
+	return pcs
+}
+
+// TestBatchedForwardMultiPrefixMatchesPerSequence property-tests the
+// cross-request packed pass against per-sequence ForwardWithPrefix calls:
+// random batches mix sequences from several distinct prefix caches (including
+// consecutive repeats of the same cache, as the rank batcher produces, and
+// empty suffixes) over intra-op worker counts. Bit-identical hidden windows
+// and head readouts are required.
+func TestBatchedForwardMultiPrefixMatchesPerSequence(t *testing.T) {
+	t.Cleanup(func() { SetIntraOp(1, 0) })
+	rng := rand.New(rand.NewSource(54))
+	enc, head := batchedTestEncoder(50)
+	caches := multiPrefixFixture(enc, rng, 3)
+	for _, workers := range []int{1, 2, 3} {
+		SetIntraOp(workers, 8)
+		for _, batch := range []int{1, 2, 5, 8} {
+			for trial := 0; trial < 4; trial++ {
+				pcs := make([]*PrefixCache, batch)
+				sufs := make([][]int, batch)
+				sufSegs := make([][]int, batch)
+				masks := make([][]bool, batch)
+				for b := range sufs {
+					if b > 0 && rng.Intn(2) == 0 {
+						pcs[b] = pcs[b-1] // a lineage contributes a run of facts
+					} else {
+						pcs[b] = caches[rng.Intn(len(caches))]
+					}
+					p := pcs[b].Len()
+					n := rng.Intn(enc.Cfg.MaxSeqLen - p + 1) // 0 = prefix-only sequence
+					sufs[b] = make([]int, n)
+					sufSegs[b] = make([]int, n)
+					for i := 0; i < n; i++ {
+						sufs[b][i] = rng.Intn(enc.Cfg.VocabSize)
+						sufSegs[b][i] = 2
+					}
+					masks[b] = make([]bool, p+n)
+					for i := range masks[b] {
+						masks[b][i] = true
+					}
+				}
+				want := make([]*Mat, batch)
+				wantPred := make([]float64, batch)
+				for b := range sufs {
+					h := enc.ForwardWithPrefix(pcs[b], sufs[b], sufSegs[b], masks[b])
+					wantPred[b] = head.Forward(h)
+					want[b] = h.Clone()
+				}
+				packed, offs := enc.BatchedForwardMultiPrefix(pcs, sufs, sufSegs, masks)
+				for b := range sufs {
+					assertWindowBitEqual(t, "BatchedForwardMultiPrefix", b, packed, offs[b], want[b])
+					got := head.ForwardAt(packed, offs[b])
+					if math.Float64bits(got) != math.Float64bits(wantPred[b]) {
+						t.Fatalf("workers=%d batch=%d seq %d: head %v vs reference %v",
+							workers, batch, b, got, wantPred[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEncoder32MultiPrefixMatchesPerSequence runs the same property through
+// the f32 and int8 engines: the low-precision multi-prefix pass must be
+// bit-identical (tier-internal) to per-sequence ForwardWithPrefix on the same
+// engine.
+func TestEncoder32MultiPrefixMatchesPerSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	enc, head := batchedTestEncoder(50)
+	for _, prec := range []Precision{PrecisionF32, PrecisionInt8} {
+		e32 := NewEncoder32(enc, prec)
+		h32 := NewHead32(head, prec)
+		caches := make([]*PrefixCache32, 3)
+		for i := range caches {
+			pLen := 4 + 2*i
+			prefix := make([]int, pLen)
+			pSegs := make([]int, pLen)
+			for j := range prefix {
+				prefix[j] = rng.Intn(enc.Cfg.VocabSize)
+				if j > pLen/2 {
+					pSegs[j] = 1
+				}
+			}
+			caches[i] = e32.EmbedPrefix(prefix, pSegs)
+		}
+		for _, batch := range []int{1, 3, 6} {
+			pcs := make([]*PrefixCache32, batch)
+			sufs := make([][]int, batch)
+			sufSegs := make([][]int, batch)
+			masks := make([][]bool, batch)
+			for b := range sufs {
+				pcs[b] = caches[rng.Intn(len(caches))]
+				p := pcs[b].Len()
+				n := rng.Intn(enc.Cfg.MaxSeqLen - p + 1)
+				sufs[b] = make([]int, n)
+				sufSegs[b] = make([]int, n)
+				for i := 0; i < n; i++ {
+					sufs[b][i] = rng.Intn(enc.Cfg.VocabSize)
+					sufSegs[b][i] = 2
+				}
+				masks[b] = make([]bool, p+n)
+				for i := range masks[b] {
+					masks[b][i] = true
+				}
+			}
+			want := make([][]float32, batch)
+			wantPred := make([]float64, batch)
+			for b := range sufs {
+				h := e32.ForwardWithPrefix(pcs[b], sufs[b], sufSegs[b], masks[b])
+				wantPred[b] = h32.Forward(h)
+				want[b] = append([]float32(nil), h.Data...)
+			}
+			packed, offs := e32.BatchedForwardMultiPrefix(pcs, sufs, sufSegs, masks)
+			for b := range sufs {
+				rows := pcs[b].Len() + len(sufs[b])
+				win := packed.Data[offs[b]*packed.Cols : (offs[b]+rows)*packed.Cols]
+				for j := range want[b] {
+					if math.Float32bits(win[j]) != math.Float32bits(want[b][j]) {
+						t.Fatalf("%s batch=%d seq %d elem %d: packed %v vs reference %v",
+							prec, batch, b, j, win[j], want[b][j])
+					}
+				}
+				got := h32.ForwardAt(packed, offs[b])
+				if math.Float64bits(got) != math.Float64bits(wantPred[b]) {
+					t.Fatalf("%s batch=%d seq %d: head %v vs reference %v", prec, batch, b, got, wantPred[b])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiPrefixZeroAllocs pins a warmed cross-request packed pass (multi-
+// prefix forward over sequences from distinct caches plus per-sequence head
+// readouts) to exactly 0 allocs/op. scripts/ci.sh fails if this test is
+// skipped.
+func TestMultiPrefixZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rng := rand.New(rand.NewSource(56))
+	enc, head := batchedTestEncoder(50)
+	caches := multiPrefixFixture(enc, rng, 3)
+	const batch = 6
+	pcs := make([]*PrefixCache, batch)
+	sufs := make([][]int, batch)
+	sufSegs := make([][]int, batch)
+	masks := make([][]bool, batch)
+	for b := 0; b < batch; b++ {
+		pcs[b] = caches[b%len(caches)]
+		p := pcs[b].Len()
+		n := 2 + b // mixed suffix lengths: the pool is keyed by shape, not last use
+		sufs[b] = make([]int, n)
+		sufSegs[b] = make([]int, n)
+		for i := 0; i < n; i++ {
+			sufs[b][i] = rng.Intn(enc.Cfg.VocabSize)
+			sufSegs[b][i] = 2
+		}
+		masks[b] = make([]bool, p+n)
+		for i := range masks[b] {
+			masks[b][i] = true
+		}
+	}
+	step := func() {
+		packed, offs := enc.BatchedForwardMultiPrefix(pcs, sufs, sufSegs, masks)
+		for b := range offs {
+			head.ForwardAt(packed, offs[b])
+		}
+	}
+	step()
+	step() // warm: every scratch shape, view header and offset slice pooled
+	allocs := testing.AllocsPerRun(20, step)
+	if allocs != 0 {
+		t.Errorf("warmed multi-prefix pass allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -123,6 +123,7 @@ type batcher struct {
 	mDepth    *obs.Gauge     // serve.queue.depth: jobs waiting after last dispatch
 	mRejected *obs.Counter   // serve.queue.rejected
 	mJobs     *obs.Counter   // serve.queue.admitted
+	mPacked   *obs.Counter   // serve.batch.packed: batch slices scored via RankMany
 }
 
 func defaultWorkers() int { return parallel.Workers(0) }
@@ -137,6 +138,7 @@ func newBatcher(s *Server) *batcher {
 		mDepth:    reg.Gauge("serve.queue.depth"),
 		mRejected: reg.Counter("serve.queue.rejected"),
 		mJobs:     reg.Counter("serve.queue.admitted"),
+		mPacked:   reg.Counter("serve.batch.packed"),
 	}
 }
 
@@ -248,19 +250,76 @@ func (b *batcher) collect(batch *[]*job) {
 	}
 }
 
-// score fans one batch across the replicas and completes every job. Each job
-// runs whole on one replica (parallel.ForEachWorker: calls sharing a worker
-// slot are sequential), so per-request scoring is exactly the offline RankOn
-// computation regardless of how requests were coalesced.
+// score completes every job of one batch. With PackRequests on (and a packed
+// scoring path configured), each replica receives a contiguous SLICE of the
+// batch and scores its rank jobs through one core.RankMany call — facts of
+// different requests share multi-prefix GEMM passes. Otherwise each job runs
+// whole on one replica (parallel.ForEachWorker: calls sharing a worker slot
+// are sequential), the request-granular dispatch of PR 7. Either way a
+// request's scores are exactly the offline RankOn computation — RankMany is
+// bit-identical to per-request RankOn by construction — so coalescing and
+// packing change scheduling and GEMM sizes, never bytes.
 func (b *batcher) score(rs *replicaSet, batch []*job) {
 	b.mBatch.Observe(float64(len(batch)))
 	b.mDepth.Set(float64(len(b.jobs)))
 	reps := rs.get(min(b.cfg.Workers, len(batch)))
-	parallel.ForEachWorker(len(reps), len(batch), func(w, i int) {
-		batch[i].run(reps[w])
-	})
+	if b.cfg.PackRequests && b.cfg.RankBatch > 1 {
+		b.scorePacked(reps, batch)
+	} else {
+		parallel.ForEachWorker(len(reps), len(batch), func(w, i int) {
+			batch[i].run(reps[w])
+		})
+	}
 	for _, j := range batch {
 		close(j.done)
+	}
+}
+
+// scorePacked partitions the batch into len(reps) contiguous slices and lets
+// each replica score one slice through the cross-request packed path. Slices
+// (not striped single jobs) keep each lineage's facts consecutive in the
+// packed chunks and give every replica one big RankMany call.
+func (b *batcher) scorePacked(reps []*core.Model, batch []*job) {
+	nw := len(reps)
+	b.mPacked.Add(int64(nw))
+	parallel.ForEachWorker(nw, nw, func(w, sl int) {
+		lo, hi := sl*len(batch)/nw, (sl+1)*len(batch)/nw
+		scoreSlice(reps[w], batch[lo:hi])
+	})
+}
+
+// scoreSlice scores one replica's slice: non-rank jobs (similarity) run
+// individually as before; rank jobs are gathered into one RankMany call whose
+// results scatter back by position. Every rank job gets the same score-stage
+// timestamps — the packed pass IS its model time — and a "core.rank" stage on
+// its trace, mirroring what RankCtx records on the per-request path.
+func scoreSlice(m *core.Model, jobs []*job) {
+	nRank := 0
+	for _, j := range jobs {
+		if j.kind == jobRank {
+			nRank++
+		} else {
+			j.run(m)
+		}
+	}
+	if nRank == 0 {
+		return
+	}
+	ins := make([]core.Input, 0, nRank)
+	ranks := make([]*job, 0, nRank)
+	for _, j := range jobs {
+		if j.kind == jobRank {
+			ins = append(ins, j.in)
+			ranks = append(ranks, j)
+		}
+	}
+	start := time.Now()
+	vals := m.RankMany(ins)
+	end := time.Now()
+	for i, j := range ranks {
+		j.scores = vals[i]
+		j.tScore, j.tDone = start, end
+		j.tc.AddStage("core.rank", start, end.Sub(start))
 	}
 }
 

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -85,12 +87,44 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/rank", s.instrument("rank", s.handleRank))
 	mux.HandleFunc("/explain", s.instrument("explain", s.handleExplain))
 	mux.HandleFunc("/similar", s.instrument("similar", s.handleSimilar))
-	mux.HandleFunc("/admin/reload", s.instrument("reload", s.handleReload))
+	mux.HandleFunc("/admin/reload", s.instrument("reload", s.requireAdmin(s.handleReload)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/manifest", s.handleManifest)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	return mux
+}
+
+// requireAdmin gates an /admin/* handler behind the configured bearer token:
+// with Config.AdminToken set, requests must carry "Authorization: Bearer
+// <token>" or they are rejected with 401 (counted in serve.req.unauthorized)
+// before the handler runs. The comparison is constant-time so the token
+// cannot be recovered byte-by-byte through response timing. An empty token
+// leaves the endpoint open — the local-development default.
+func (s *Server) requireAdmin(h http.HandlerFunc) http.HandlerFunc {
+	unauth := obs.Metrics().Counter("serve.req.unauthorized")
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.AdminToken != "" {
+			got, ok := bearerToken(r)
+			if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.AdminToken)) != 1 {
+				unauth.Add(1)
+				w.Header().Set("WWW-Authenticate", `Bearer realm="admin"`)
+				s.writeError(w, http.StatusUnauthorized, "admin endpoints require a valid bearer token")
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// bearerToken extracts the token of an "Authorization: Bearer ..." header.
+func bearerToken(r *http.Request) (string, bool) {
+	const prefix = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if len(auth) <= len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) {
+		return "", false
+	}
+	return auth[len(prefix):], true
 }
 
 // statusWriter records the response status and the instant of the first byte

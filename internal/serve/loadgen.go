@@ -2,11 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"crypto/tls"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,11 +57,19 @@ type LoadReport struct {
 	RejectedP50Ms  float64 `json:"rejected_p50_ms"`
 	RejectedP99Ms  float64 `json:"rejected_p99_ms"`
 	RejectedMeanMs float64 `json:"rejected_mean_ms"`
+	// Lineages is how many distinct request bodies — distinct (query, tuple)
+	// lineages, each with its own encoder prefix — the run cycled through
+	// (see -loadgen-lineages).
+	Lineages int `json:"lineages"`
 }
 
 // RankBodies renders /rank request bodies for the corpus's test cases — the
 // request mix the load generator cycles through. Returns at most n bodies
-// (n <= 0 means all).
+// (n <= 0 means all). Every test case is a distinct (query, tuple) lineage
+// with its own encoder prefix, so n bounds how many distinct prefixes the
+// load exercises: n == 1 reproduces a single-lineage loop (every coalesced
+// batch shares one prefix — unrealistically flattering to cross-request
+// packing), larger n a realistic mixed-prefix stream (-loadgen-lineages).
 func RankBodies(c *dataset.Corpus, n int) ([][]byte, error) {
 	var bodies [][]byte
 	for _, qi := range c.Test {
@@ -96,6 +106,9 @@ func RunLoad(cfg LoadConfig, bodies [][]byte) (*LoadReport, error) {
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        cfg.Clients,
 		MaxIdleConnsPerHost: cfg.Clients,
+		// The generator targets its own daemon, typically on a self-signed
+		// cert; certificate identity is not what a load test measures.
+		TLSClientConfig: insecureTLSFor(cfg.BaseURL),
 	}}
 	defer client.CloseIdleConnections()
 
@@ -148,7 +161,7 @@ func RunLoad(cfg LoadConfig, bodies [][]byte) (*LoadReport, error) {
 	wg.Wait()
 	wall := time.Since(start)
 
-	rep := &LoadReport{Clients: cfg.Clients, Requests: cfg.Requests, DurationSec: wall.Seconds()}
+	rep := &LoadReport{Clients: cfg.Clients, Requests: cfg.Requests, DurationSec: wall.Seconds(), Lineages: len(bodies)}
 	var okLat, rejLat []float64
 	var sum, rejSum float64
 	for i, st := range status {
@@ -182,6 +195,15 @@ func RunLoad(cfg LoadConfig, bodies [][]byte) (*LoadReport, error) {
 		rep.RejectedP99Ms = quantile(rejLat, 0.99)
 	}
 	return rep, nil
+}
+
+// insecureTLSFor returns a verification-skipping TLS config for https base
+// URLs (self-signed local daemons) and nil for plain http.
+func insecureTLSFor(baseURL string) *tls.Config {
+	if !strings.HasPrefix(baseURL, "https://") {
+		return nil
+	}
+	return &tls.Config{InsecureSkipVerify: true}
 }
 
 // quantile reads the q-quantile from an ascending slice (nearest-rank).

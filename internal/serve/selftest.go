@@ -38,7 +38,10 @@ func SelfTest(s *Server, n int) error {
 		want[i] = ref.Rank(c.in)
 	}
 
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: n}}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: n,
+		TLSClientConfig:     insecureTLSFor(s.URL()),
+	}}
 	defer client.CloseIdleConnections()
 	errs := make([]error, n)
 	var wg sync.WaitGroup

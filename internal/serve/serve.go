@@ -78,6 +78,24 @@ type Config struct {
 	// as the offline -rank-batch / -precision flags do.
 	RankBatch int
 	Precision string
+	// PackRequests routes coalesced batches through core.RankMany: each
+	// replica scores a contiguous slice of the batch in cross-request packed
+	// passes (facts of different lineages share nn.BatchedForwardMultiPrefix
+	// GEMMs), instead of one RankOn call per request. Off = the request-
+	// granular dispatch PR 7 shipped. Scores are bit-identical either way;
+	// only GEMM sizes change. Effective only with MaxBatch > 1 and
+	// RankBatch > 1 (otherwise there is nothing to pack across).
+	PackRequests bool
+	// AdminToken, when non-empty, locks every /admin/* endpoint behind
+	// "Authorization: Bearer <token>"; failures are rejected with 401 and
+	// counted in serve.req.unauthorized. Empty leaves /admin/* open (local
+	// development default).
+	AdminToken string
+	// TLSCert/TLSKey are PEM file paths; set both to serve HTTPS instead of
+	// plain HTTP. The bearer token above is only meaningful over TLS on
+	// untrusted networks.
+	TLSCert string
+	TLSKey  string
 	// SlowMS logs any request whose total latency is at or above this many
 	// milliseconds as a structured slow-request line (and counts it in
 	// serve.req.slow). 0 disables the slow log; every request still lands in
@@ -98,20 +116,21 @@ type Config struct {
 }
 
 // DefaultConfig returns serving defaults: batching on, a 2ms coalescing
-// window, and the packed per-lineage encoder path.
+// window, the packed per-lineage encoder path, and cross-request packing.
 func DefaultConfig() Config {
 	return Config{
-		Addr:        "127.0.0.1:0",
-		Workers:     0,
-		MaxBatch:    8,
-		BatchWindow: 2 * time.Millisecond,
-		QueueCap:    256,
-		RankBatch:   8,
-		Precision:   "f64",
-		TraceRing:   256,
-		DriftWindow: 256,
-		DriftProbe:  8,
-		DriftPSI:    0.25,
+		Addr:         "127.0.0.1:0",
+		Workers:      0,
+		MaxBatch:     8,
+		BatchWindow:  2 * time.Millisecond,
+		QueueCap:     256,
+		RankBatch:    8,
+		Precision:    "f64",
+		PackRequests: true,
+		TraceRing:    256,
+		DriftWindow:  256,
+		DriftProbe:   8,
+		DriftPSI:     0.25,
 	}
 }
 
@@ -336,6 +355,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // It returns once the listener is bound; serving continues on background
 // goroutines until Shutdown.
 func (s *Server) Start() error {
+	if (s.cfg.TLSCert == "") != (s.cfg.TLSKey == "") {
+		return fmt.Errorf("serve: -tls-cert and -tls-key must be set together")
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
@@ -344,7 +366,13 @@ func (s *Server) Start() error {
 	s.b.start()
 	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
-		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		var err error
+		if s.cfg.TLSCert != "" {
+			err = s.httpSrv.ServeTLS(ln, s.cfg.TLSCert, s.cfg.TLSKey)
+		} else {
+			err = s.httpSrv.Serve(ln)
+		}
+		if err != nil && err != http.ErrServerClosed {
 			obs.Infof("serve: %v\n", err)
 		}
 	}()
@@ -359,8 +387,13 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// URL returns the base URL of the running server.
-func (s *Server) URL() string { return "http://" + s.Addr() }
+// URL returns the base URL of the running server (https when TLS is on).
+func (s *Server) URL() string {
+	if s.cfg.TLSCert != "" {
+		return "https://" + s.Addr()
+	}
+	return "http://" + s.Addr()
+}
 
 // Shutdown drains the server: it stops accepting connections, waits (up to
 // the context deadline) for in-flight handlers — and therefore for every

@@ -106,24 +106,33 @@ func postRank(client *http.Client, base string, body []byte) (*RankResponse, int
 
 // TestServeParitySequential is the determinism gate from the package doc:
 // coalesced cross-request batched scores must be bit-identical to sequential
-// per-request core.RankOn for every batch window, batch size and worker count.
+// per-request core.RankOn for every (batch window × batch size × worker count
+// × rank-batch × pack-requests) grid point — with packing on, facts of
+// different concurrent requests share multi-prefix GEMM passes and the bytes
+// still must not move.
 func TestServeParitySequential(t *testing.T) {
 	corpus, model := fixture(t)
 	for _, tc := range []struct {
 		maxBatch, workers int
 		window            time.Duration
+		rankBatch         int
+		pack              bool
 	}{
-		{1, 1, 0}, // per-request baseline, single dispatcher
-		{1, 3, 0}, // per-request baseline, parallel dispatchers
-		{4, 1, 0}, // backlog coalescing only
-		{4, 2, 500 * time.Microsecond},
-		{8, 3, 2 * time.Millisecond}, // production defaults shape
+		{1, 1, 0, 8, false}, // per-request baseline, single dispatcher
+		{1, 3, 0, 8, true},  // per-request baseline, parallel dispatchers (pack is moot)
+		{4, 1, 0, 8, false}, // backlog coalescing, request-granular dispatch
+		{4, 1, 0, 8, true},  // backlog coalescing, cross-request packed
+		{4, 2, 500 * time.Microsecond, 8, false},
+		{4, 2, 500 * time.Microsecond, 8, true},
+		{4, 2, 500 * time.Microsecond, 2, true}, // chunks smaller than lineages: packs straddle requests
+		{8, 3, 2 * time.Millisecond, 8, true},   // production defaults shape
+		{8, 3, 2 * time.Millisecond, 0, true},   // pack requested but rank-batch off: plain per-input path
 	} {
-		name := fmt.Sprintf("batch%d_w%d_win%v", tc.maxBatch, tc.workers, tc.window)
+		name := fmt.Sprintf("batch%d_w%d_win%v_rb%d_pack%v", tc.maxBatch, tc.workers, tc.window, tc.rankBatch, tc.pack)
 		t.Run(name, func(t *testing.T) {
 			s := startServer(t, Config{
 				Workers: tc.workers, MaxBatch: tc.maxBatch, BatchWindow: tc.window,
-				QueueCap: 64, RankBatch: 8, Precision: "f64",
+				QueueCap: 64, RankBatch: tc.rankBatch, Precision: "f64", PackRequests: tc.pack,
 			})
 			cases, err := selfTestCases(s, 6)
 			if err != nil {

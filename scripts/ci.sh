@@ -32,8 +32,8 @@ echo "== go test -race (batched + intra-op parallel paths) =="
 # sweep nn.SetIntraOp worker counts, so this run drives the row-partitioned
 # GEMM fan-out and the packed batched passes under the race detector
 # explicitly.
-go test -race ./internal/nn -run 'Batched|ParKernels|ForEachRows'
-go test -race ./internal/core -run 'Batched'
+go test -race ./internal/nn -run 'Batched|MultiPrefix|ParKernels|ForEachRows'
+go test -race ./internal/core -run 'Batched|RankMany'
 
 echo "== go test -race (request observability: traces, ring, drift, exposition) =="
 # The trace context is mutated from both sides of the admission queue (handler
@@ -42,6 +42,13 @@ echo "== go test -race (request observability: traces, ring, drift, exposition) 
 # test explicitly under the race detector.
 go test -race ./internal/obs -run 'TraceContext|TraceID|TraceRing|ChromeTrace|Drift|PSI|Prom|Lint'
 go test -race ./internal/serve -run 'TraceIDThreadsThroughBatch|HealthzReadiness|MetricsPrometheus'
+
+echo "== go test -race (packed serve dispatch + admin auth + TLS) =="
+# The parity grid sweeps pack-requests on/off across batch/window/worker/
+# rank-batch combinations — the packed dispatcher slices one batch across
+# replicas concurrently, so it runs under the race detector explicitly, as do
+# the TLS round trip and the admin auth gate.
+go test -race ./internal/serve -run 'ServeParitySequential|ServeAdminAuth|ServeTLS'
 
 echo "== go test -race (blocked kernel tier + precision engines) =="
 # The blocked-kernel serial-parity test sweeps intra-op worker counts over the
@@ -103,6 +110,15 @@ if ! echo "$alloc_out" | grep -q -- '--- PASS: TestEncoder32ZeroAllocs'; then
     echo "TestEncoder32ZeroAllocs did not pass (skipped?)" >&2
     exit 1
 fi
+# The cross-request multi-prefix pass (suffixes of different lineages packed
+# into one chunk, per-sequence prefix attention) is the serving hot path with
+# -pack-requests on; a warmed pass must also run at 0 allocs/op.
+alloc_out=$(go test ./internal/nn -run '^TestMultiPrefixZeroAllocs$' -v)
+echo "$alloc_out" | tail -n 3
+if ! echo "$alloc_out" | grep -q -- '--- PASS: TestMultiPrefixZeroAllocs'; then
+    echo "TestMultiPrefixZeroAllocs did not pass (skipped?)" >&2
+    exit 1
+fi
 
 echo "== precision parity gate =="
 # The reduced-precision tiers are tolerance-gated, not bitwise: ranking the
@@ -145,16 +161,18 @@ echo "== serve e2e (daemon + concurrent traffic + manifest) =="
 # ephemeral port with cross-request batching on, fire concurrent /rank
 # requests over real TCP and verify every response bit-for-bit against
 # sequential per-request ranking (cmd/serve -selftest exits non-zero on any
-# mismatch), then drain and flush the run manifest. The schema check asserts
+# mismatch; it then flips -pack-requests and repeats, so both dispatch modes
+# are gated), then drain and flush the run manifest. The schema check asserts
 # the manifest recorded live serve.* metrics (request counters, batch-size
-# histogram, the serve.stage.* latency decomposition) and the obs.drift.*
-# quality monitors alongside the core ranking counters.
+# histogram, the serve.stage.* latency decomposition), the nn.mbatch.*
+# multi-prefix packing counters from the packed dispatch leg, and the
+# obs.drift.* quality monitors alongside the core ranking counters.
 go run ./cmd/serve -queries 12 -cases 3 -dim 8 -layers 1 \
     -pepochs 1 -ppairs 16 -epochs 1 -samples 40 \
     -workers 2 -max-batch 4 -batch-window 1ms -rank-batch 8 \
     -selftest 8 -metrics-out "$manifest_dir/serve.json" -trace -quiet 2>/dev/null
 REPRO_MANIFEST="$manifest_dir/serve.json" \
-    REPRO_MANIFEST_EXPECT_METRICS="serve.req.,serve.batch.,serve.queue.,serve.stage.,core.rank.,obs.drift." \
+    REPRO_MANIFEST_EXPECT_METRICS="serve.req.,serve.batch.,serve.queue.,serve.stage.,core.rank.,nn.mbatch.,obs.drift." \
     go test ./internal/obs -run '^TestValidateManifestFile$' -v | tail -n 3
 REPRO_MANIFEST="$manifest_dir/serve.json" \
     go test ./internal/obs -run '^TestManifestMetricNamesLint$' -v | tail -n 3
