@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/dataset"
@@ -25,6 +26,11 @@ func main() {
 	dumpSQL := flag.Bool("sql", false, "dump the generated workload")
 	similarities := flag.Bool("similarities", true, "compute Table 2 split similarities")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building (0 = one per CPU); output is identical for every value")
+	labeler := flag.String("labeler", "exact", "Shapley labeling engine: exact, mc, amc, loo, or stratified")
+	labelSamples := flag.Int("label-samples", 0, "permutation budget per lineage for sampling labelers (0 = engine default)")
+	labelSeed := flag.Uint64("label-seed", 1, "base seed for sampling labelers; corpora are byte-identical for a fixed seed at every -workers")
+	labelFallback := flag.String("label-fallback", "mc", "sampler labeling the lineages the exact engine refuses (too large); \"none\" drops them instead")
+	export := flag.String("export", "", "write the labeled corpus as JSON to this path (suffixed with the database name when -db both)")
 	rankBatch := flag.Int("rank-batch", 0, "accepted for CLI uniformity with the ranking commands; corpus generation performs no ranking, so the value is only recorded in the run manifest")
 	trainBatch := flag.Int("train-batch", 0, "accepted for CLI uniformity with the training commands; corpus generation performs no training, so the value is only recorded in the run manifest")
 	precision := flag.String("precision", "f64", "accepted for CLI uniformity with the ranking commands; corpus generation performs no inference, so the value is only validated and recorded in the run manifest")
@@ -45,6 +51,10 @@ func main() {
 	rn.SetConfig("rank_batch", *rankBatch)
 	rn.SetConfig("train_batch", *trainBatch)
 	rn.SetConfig("precision", *precision)
+	rn.SetConfig("labeler", *labeler)
+	rn.SetConfig("label_samples", *labelSamples)
+	rn.SetConfig("label_seed", *labelSeed)
+	rn.SetConfig("label_fallback", *labelFallback)
 
 	kinds := []dataset.Kind{dataset.IMDB, dataset.Academic}
 	switch *kindFlag {
@@ -65,6 +75,12 @@ func main() {
 		cfg.MaxCasesPerQuery = *cases
 		cfg.Scale = dataset.Scale{Base: *scale}
 		cfg.Workers = *workers
+		cfg.Labeler = *labeler
+		cfg.LabelSamples = *labelSamples
+		cfg.LabelSeed = *labelSeed
+		if *labelFallback != "none" {
+			cfg.LabelFallback = *labelFallback
+		}
 		start := time.Now()
 		c, err := dataset.Build(cfg)
 		if err != nil {
@@ -82,6 +98,29 @@ func main() {
 			fmt.Printf("%-10s %-8s %10d %10d %12d\n", kind, sp.name, st.Queries, st.Results, st.Facts)
 		}
 		rn.Log.Infof("%-10s built in %v (%d database facts)\n", kind, elapsed.Round(time.Millisecond), c.DB.NumFacts())
+
+		// Labeling summary: what the configured engine labeled, what fell back,
+		// and what was dropped as too large — printed and recorded in the run
+		// manifest so corpus provenance survives the console.
+		ls := c.Labels
+		fmt.Printf("%-10s labeling engine=%s labeled=%d (exact=%d sampled=%d fallbacks=%d) skipped-too-large=%d\n",
+			kind, *labeler, ls.Labeled, ls.Exact, ls.Sampled, ls.Fallback, ls.Skipped)
+		kindKey := strings.ToLower(kind.String())
+		rn.SetConfig("label_summary_"+kindKey, map[string]int{
+			"labeled": ls.Labeled, "exact": ls.Exact, "sampled": ls.Sampled,
+			"fallbacks": ls.Fallback, "skipped_too_large": ls.Skipped,
+		})
+
+		if *export != "" {
+			path := *export
+			if len(kinds) > 1 {
+				path += "." + kindKey
+			}
+			if err := writeCorpus(c, path); err != nil {
+				log.Fatal(err)
+			}
+			rn.Log.Infof("%-10s corpus exported to %s\n", kind, path)
+		}
 
 		if *similarities {
 			sims := dataset.NewSimilarityCache(c)
@@ -125,4 +164,18 @@ func finish(rn *obs.Run) {
 	if err := rn.Finish(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// writeCorpus exports one labeled corpus to path, failing loudly on any
+// filesystem error so a truncated corpus never looks like a success.
+func writeCorpus(c *dataset.Corpus, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

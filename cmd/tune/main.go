@@ -32,6 +32,9 @@ func main() {
 	ppairs := flag.Int("ppairs", 300, "pre-training pairs per epoch")
 	seed := flag.Int64("seed", 11, "model seed")
 	workers := flag.Int("workers", 0, "worker goroutines for corpus building and training (0 = one per CPU); results are identical for every value")
+	labeler := flag.String("labeler", "exact", "Shapley labeling engine for the corpus: exact, mc, amc, loo, or stratified")
+	labelSamples := flag.Int("label-samples", 0, "permutation budget per lineage for sampling labelers (0 = engine default)")
+	labelSeed := flag.Uint64("label-seed", 1, "base seed for sampling labelers")
 	rankBatch := flag.Int("rank-batch", 0, "pack up to this many lineage facts per batched encoder pass when ranking (0 or 1 = per-fact); scores are identical for every value")
 	trainBatch := flag.Int("train-batch", 0, "pack up to this many samples per batched encoder training pass (0 = replica per sample); trained weights are identical for every value")
 	precision := flag.String("precision", "f64", "arithmetic tier for ranking inference: f64 (reference), f32, or int8 (per-channel quantized weights); training always runs f64")
@@ -53,6 +56,9 @@ func main() {
 	rn.SetConfig("pretrain", *pretrain)
 	rn.SetConfig("seed", *seed)
 	rn.SetConfig("workers", *workers)
+	rn.SetConfig("labeler", *labeler)
+	rn.SetConfig("label_samples", *labelSamples)
+	rn.SetConfig("label_seed", *labelSeed)
 	rn.SetConfig("rank_batch", *rankBatch)
 	rn.SetConfig("train_batch", *trainBatch)
 	rn.SetConfig("precision", *precision)
@@ -65,6 +71,9 @@ func main() {
 	dc.NumQueries = *queries
 	dc.MaxCasesPerQuery = *cases
 	dc.Workers = *workers
+	dc.Labeler = *labeler
+	dc.LabelSamples = *labelSamples
+	dc.LabelSeed = *labelSeed
 	start := time.Now()
 	c, err := dataset.Build(dc)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/relation"
 	"repro/internal/shapley"
+	"repro/internal/shapley/approx"
 	"repro/internal/similarity"
 	"repro/internal/sqlparse"
 )
@@ -44,8 +45,25 @@ type Config struct {
 	// Workers bounds the goroutines used to evaluate and Shapley-label the
 	// workload; <= 0 means one per CPU. The corpus is bit-identical for every
 	// worker count — and to a fully serial build — because all RNG draws stay
-	// on the main goroutine in the serial order.
+	// on the main goroutine in the serial order (sampling labelers derive
+	// their RNG streams from LabelSeed per tuple, off no goroutine at all).
 	Workers int
+	// Labeler names the engine labeling every candidate tuple: "exact" (or
+	// empty, the default) or one of the approx samplers ("mc", "amc", "loo",
+	// "stratified"). Samplers have no lineage-size limit, so under them
+	// MaxLineage does not apply and no tuple is dropped for size.
+	Labeler string
+	// LabelSamples is the per-lineage permutation budget for sampling
+	// engines; <= 0 selects approx.DefaultSamples.
+	LabelSamples int
+	// LabelSeed is the base seed for sampler randomness. Each tuple's engine
+	// seed is derived from (LabelSeed, query ID, tuple index), so labels are
+	// independent of both worker count and labeling order.
+	LabelSeed uint64
+	// LabelFallback names the sampler that labels a tuple the exact engine
+	// refuses (lineage over MaxLineage or over the compilation limit).
+	// Empty preserves the historical behavior: such tuples are dropped.
+	LabelFallback string
 }
 
 // DefaultConfig returns the bench-scale configuration for a database kind.
@@ -59,7 +77,19 @@ func DefaultConfig(kind Kind) Config {
 		MaxCasesPerQuery: 12,
 		MaxLineage:       100,
 		RankTuples:       8,
+		Labeler:          "exact",
+		LabelSeed:        1,
 	}
+}
+
+// LabelStats summarizes one build's labeling outcomes — the numbers
+// dbshap-gen prints as its labeling summary and records in the run manifest.
+type LabelStats struct {
+	Labeled  int // cases labeled, total
+	Exact    int // labeled by the exact engine
+	Sampled  int // labeled by the configured primary sampler
+	Fallback int // exact refused the lineage; labeled by the fallback sampler
+	Skipped  int // exact refused and no fallback configured — tuple dropped
 }
 
 // Case is one labeled (query, output tuple) pair: the tuple, its provenance
@@ -102,6 +132,7 @@ type Corpus struct {
 	Config  Config
 	DB      *relation.Database
 	Queries []*QueryEntry
+	Labels  LabelStats
 	Train   []int
 	Dev     []int
 	Test    []int
@@ -158,23 +189,52 @@ func Build(cfg Config) (*Corpus, error) {
 	for i, entry := range c.Queries {
 		perms[i] = rng.Perm(len(entry.Result.Tuples))
 	}
-	// Phase 3 (parallel, RNG-free): exact Shapley labeling per query.
+	// Phase 3 (parallel, main-RNG-free): Shapley labeling per query through
+	// the configured engine. Sampling engines draw from per-tuple seeds
+	// derived from (LabelSeed, query ID, tuple index) — a pure function — so
+	// this phase stays bit-identical across worker counts too.
+	relOf := func(id relation.FactID) string {
+		if f := db.Fact(id); f != nil {
+			return f.Relation
+		}
+		return ""
+	}
+	opts := approx.Options{Samples: cfg.LabelSamples, RelationOf: relOf}
+	primary, err := approx.Parse(cfg.Labeler, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	var fallback approx.Labeler
+	if cfg.LabelFallback != "" {
+		fallback, err = approx.Parse(cfg.LabelFallback, opts)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: label fallback: %w", err)
+		}
+		if fallback.Name() == "exact" {
+			return nil, fmt.Errorf("dataset: label fallback must be a sampler, not %q", cfg.LabelFallback)
+		}
+	}
 	labelDone := obs.Span("shapley.label")
-	parallel.ForEach(cfg.Workers, len(c.Queries), func(i int) {
-		labelEntry(c.Queries[i], cfg, perms[i])
+	stats := parallel.Map(cfg.Workers, len(c.Queries), func(i int) LabelStats {
+		return labelEntry(c.Queries[i], cfg, perms[i], primary, fallback)
 	})
 	labelDone()
+	for _, s := range stats {
+		c.Labels.Labeled += s.Labeled
+		c.Labels.Exact += s.Exact
+		c.Labels.Sampled += s.Sampled
+		c.Labels.Fallback += s.Fallback
+		c.Labels.Skipped += s.Skipped
+	}
 	c.split(rng)
 	if reg := obs.Metrics(); reg != nil {
-		cases := 0
-		for _, q := range c.Queries {
-			cases += len(q.Cases)
-		}
 		// Lowercased to satisfy the obs metric-naming lint (obs.LintMetricName).
 		kind := strings.ToLower(cfg.Kind.String())
 		reg.Gauge("dataset.corpus." + kind + ".queries").Set(float64(len(c.Queries)))
-		reg.Gauge("dataset.corpus." + kind + ".cases").Set(float64(cases))
+		reg.Gauge("dataset.corpus." + kind + ".cases").Set(float64(c.Labels.Labeled))
 		reg.Gauge("dataset.corpus." + kind + ".facts").Set(float64(db.NumFacts()))
+		reg.Gauge("dataset.corpus." + kind + ".label_fallbacks").Set(float64(c.Labels.Fallback))
+		reg.Gauge("dataset.corpus." + kind + ".label_skipped").Set(float64(c.Labels.Skipped))
 	}
 	return c, nil
 }
@@ -208,8 +268,15 @@ func evalEntry(db *relation.Database, id int, sql string) (*QueryEntry, error) {
 // Shapley profile and carry the ranking signal, so they are labeled first;
 // single-derivation tuples (where every fact ties at 1/n and any ranking is
 // perfect) only fill remaining capacity.
-func labelEntry(entry *QueryEntry, cfg Config, perm []int) {
+//
+// With the exact engine, lineages over MaxLineage (or over the compilation
+// limit) go to the fallback sampler when one is configured and are dropped
+// otherwise — the historical behavior. A sampler as the primary engine has
+// no size limit: every candidate tuple is labeled.
+func labelEntry(entry *QueryEntry, cfg Config, perm []int, primary, fallback approx.Labeler) LabelStats {
+	var stats LabelStats
 	res := entry.Result
+	exactPrimary := primary.Name() == "exact"
 	for _, interesting := range []bool{true, false} {
 		for _, ti := range perm {
 			if len(entry.Cases) >= cfg.MaxCasesPerQuery {
@@ -219,16 +286,38 @@ func labelEntry(entry *QueryEntry, cfg Config, perm []int) {
 			if (len(t.Prov.Monomials) >= 2) != interesting {
 				continue
 			}
-			if len(t.Lineage()) > cfg.MaxLineage {
-				continue
+			seed := approx.DeriveSeed(cfg.LabelSeed, uint64(entry.ID), uint64(ti))
+			eng := primary
+			viaFallback := false
+			if exactPrimary && len(t.Lineage()) > cfg.MaxLineage {
+				if fallback == nil {
+					stats.Skipped++
+					continue
+				}
+				eng, viaFallback = fallback, true
 			}
-			gold, _, err := shapley.Exact(t.Prov)
+			gold, err := eng.Label(t.Prov, seed)
+			if err != nil && exactPrimary && !viaFallback && fallback != nil {
+				eng, viaFallback = fallback, true
+				gold, err = eng.Label(t.Prov, seed)
+			}
 			if err != nil {
+				stats.Skipped++
 				continue
 			}
 			entry.Cases = append(entry.Cases, Case{Tuple: t, Gold: gold})
+			stats.Labeled++
+			switch {
+			case viaFallback:
+				stats.Fallback++
+			case exactPrimary:
+				stats.Exact++
+			default:
+				stats.Sampled++
+			}
 		}
 	}
+	return stats
 }
 
 // split shuffles query indices into 70/10/20 train/dev/test, the paper's

@@ -37,6 +37,12 @@ type exportConfig struct {
 	MaxCasesPerQuery int     `json:"max_cases_per_query"`
 	MaxLineage       int     `json:"max_lineage"`
 	RankTuples       int     `json:"rank_tuples"`
+	// Labeling engine fields; absent in files from before approximate
+	// labeling existed, where the zero values mean exact-only.
+	Labeler       string `json:"labeler,omitempty"`
+	LabelSamples  int    `json:"label_samples,omitempty"`
+	LabelSeed     uint64 `json:"label_seed,omitempty"`
+	LabelFallback string `json:"label_fallback,omitempty"`
 }
 
 type exportSchema struct {
@@ -79,6 +85,10 @@ func (c *Corpus) Export(w io.Writer) error {
 			MaxCasesPerQuery: c.Config.MaxCasesPerQuery,
 			MaxLineage:       c.Config.MaxLineage,
 			RankTuples:       c.Config.RankTuples,
+			Labeler:          c.Config.Labeler,
+			LabelSamples:     c.Config.LabelSamples,
+			LabelSeed:        c.Config.LabelSeed,
+			LabelFallback:    c.Config.LabelFallback,
 		},
 		Splits: map[string][]int{"train": c.Train, "dev": c.Dev, "test": c.Test},
 	}
@@ -171,6 +181,10 @@ func Import(r io.Reader) (*Corpus, error) {
 			MaxCasesPerQuery: f.Config.MaxCasesPerQuery,
 			MaxLineage:       f.Config.MaxLineage,
 			RankTuples:       f.Config.RankTuples,
+			Labeler:          f.Config.Labeler,
+			LabelSamples:     f.Config.LabelSamples,
+			LabelSeed:        f.Config.LabelSeed,
+			LabelFallback:    f.Config.LabelFallback,
 		},
 		DB:    db,
 		Train: f.Splits["train"],

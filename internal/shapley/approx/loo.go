@@ -1,0 +1,42 @@
+package approx
+
+import (
+	"repro/internal/provenance"
+	"repro/internal/shapley"
+)
+
+// LOO is the leave-one-out baseline: score(f) = F(lineage) − F(lineage∖{f}).
+// On a monotone DNF with the full lineage present, removing f only breaks
+// derivability when every derivation mentions f, so the score is the 0/1
+// criticality indicator. It is deterministic, ignores the seed, costs one
+// pass over the DNF, and is deliberately coarse — the floor any sampler must
+// beat in the evaluation harness.
+type LOO struct{}
+
+// Name implements Labeler.
+func (LOO) Name() string { return "loo" }
+
+// Label implements Labeler.
+func (LOO) Label(d *provenance.DNF, _ uint64) (shapley.Values, error) {
+	li := indexLineage(d)
+	done := observe("loo", 0)
+	out := li.zeroValues()
+	if len(li.facts) == 0 || d.IsTrue() {
+		done(len(li.facts), 0)
+		return out, nil
+	}
+	// f is critical iff it appears in every monomial: count occurrences.
+	occ := make([]int, len(li.facts))
+	for _, m := range d.Monomials {
+		for _, id := range m {
+			occ[li.pos[id]]++
+		}
+	}
+	for i, id := range li.facts {
+		if occ[i] == len(d.Monomials) {
+			out[id] = 1
+		}
+	}
+	done(len(li.facts), 0)
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package shapley
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+// TestCircuitEvalRandomCoalitions is the large-lineage companion to the
+// exhaustive TestCircuitEvalMatchesDNF: on lineages far past the 2^n
+// exhaustion limit, the compiled circuit must agree with direct DNF truth
+// evaluation on randomly drawn coalitions. Coalition density sweeps from
+// sparse to near-full so both constant regions of the function and the
+// boundary in between are exercised — this is the oracle contract the
+// approximate labeling engines' pivot walks are differentially tested
+// against.
+func TestCircuitEvalRandomCoalitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 8; trial++ {
+		// Join-shaped provenance: ~40-60 facts, monomials of width 2-3 —
+		// large enough that 2^n exhaustion is unthinkable, small enough that
+		// compilation stays fast even on adversarial random structure.
+		nVars := 40 + rng.Intn(21)
+		var ms []provenance.Monomial
+		for i := 0; i < 18+rng.Intn(12); i++ {
+			w := 2 + rng.Intn(2)
+			vs := make([]relation.FactID, w)
+			for j := range vs {
+				vs[j] = relation.FactID(rng.Intn(nVars))
+			}
+			ms = append(ms, provenance.NewMonomial(vs...))
+		}
+		d := provenance.FromMonomials(ms...)
+		c, err := Compile(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lineage := d.Lineage()
+		if len(lineage) <= 25 {
+			t.Fatalf("trial %d: lineage %d too small to be a meaningful non-exhaustive case", trial, len(lineage))
+		}
+		sawTrue, sawFalse := false, false
+		for _, density := range []float64{0.05, 0.2, 0.5, 0.8, 0.95} {
+			for rep := 0; rep < 40; rep++ {
+				present := make(map[relation.FactID]bool)
+				for _, id := range lineage {
+					if rng.Float64() < density {
+						present[id] = true
+					}
+				}
+				pf := func(id relation.FactID) bool { return present[id] }
+				got, want := c.Eval(pf), d.Eval(pf)
+				if got != want {
+					t.Fatalf("trial %d density %v: circuit=%v dnf=%v on coalition of %d/%d",
+						trial, density, got, want, len(present), len(lineage))
+				}
+				if want {
+					sawTrue = true
+				} else {
+					sawFalse = true
+				}
+			}
+		}
+		if !sawTrue || !sawFalse {
+			t.Fatalf("trial %d: coalitions never crossed the function boundary (true=%v false=%v)", trial, sawTrue, sawFalse)
+		}
+	}
+}

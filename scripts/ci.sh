@@ -24,7 +24,10 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrency packages) =="
-go test -race ./internal/obs ./internal/parallel ./internal/dataset ./internal/nn ./internal/core ./internal/experiments ./internal/serve
+# internal/shapley/... is in the list because corpus labeling schedules the
+# (exact and sampling) engines over internal/parallel: the parity gate and the
+# dataset worker-determinism test both fan labeling out across goroutines.
+go test -race ./internal/obs ./internal/parallel ./internal/dataset ./internal/nn ./internal/core ./internal/experiments ./internal/serve ./internal/shapley/...
 
 echo "== go test -race (batched + intra-op parallel paths) =="
 # The batched parity tests (inference and training — the 'Batched' pattern
@@ -132,6 +135,28 @@ if ! echo "$parity_out" | grep -q -- '--- PASS: TestPrecisionParityGolden'; then
     exit 1
 fi
 
+echo "== sampler-vs-exact parity gate =="
+# Every approximate labeling engine (mc, amc, stratified) must hold Spearman
+# >= 0.95 against the exact oracle on the gated golden lineages at the
+# GateSamples budget. Like the allocation gates, a skip must not silently
+# satisfy the gate — fail unless the test actually PASSed.
+parity_out=$(go test ./internal/shapley/approx -run '^TestSamplerOracleParityGate$' -v)
+echo "$parity_out" | grep -E 'spearman=|--- (PASS|FAIL|SKIP)' || true
+if ! echo "$parity_out" | grep -q -- '--- PASS: TestSamplerOracleParityGate'; then
+    echo "TestSamplerOracleParityGate did not pass (skipped?)" >&2
+    exit 1
+fi
+
+echo "== corpus seed-determinism gate =="
+# A fixed -label-seed must produce byte-identical corpus exports at every
+# -workers count for every sampling engine; non-skippable for the same reason.
+det_out=$(go test ./internal/dataset -run '^TestCorpusBytesIdenticalAcrossWorkers$' -v)
+echo "$det_out" | tail -n 3
+if ! echo "$det_out" | grep -q -- '--- PASS: TestCorpusBytesIdenticalAcrossWorkers'; then
+    echo "TestCorpusBytesIdenticalAcrossWorkers did not pass (skipped?)" >&2
+    exit 1
+fi
+
 echo "== end-to-end run manifest =="
 # Tiny full pipeline (corpus -> train -> eval) with the observability stack on:
 # -workers 2 forces the instrumented pool branch even on one core, -metrics-out
@@ -142,13 +167,16 @@ trap 'rm -rf "$manifest_dir"' EXIT
 # path and -train-batch 8 routes the (small, one-epoch) pre-training and
 # fine-tuning schedules through the packed batched training path, so the
 # manifest must show live nn.batch.* and core.pretrain.* metrics — asserted
-# below via REPRO_MANIFEST_EXPECT_METRICS.
+# below via REPRO_MANIFEST_EXPECT_METRICS. -labeler mc labels the corpus with
+# the Monte Carlo sampling engine, so live shapley.approx.* metrics must show
+# up in the same manifest.
 go run ./cmd/tune -queries 16 -cases 2 -epochs 1 -samples 40 \
     -pepochs 1 -ppairs 16 \
+    -labeler mc -label-samples 64 \
     -dim 8 -layers 1 -workers 2 -rank-batch 8 -train-batch 8 \
     -metrics-out "$manifest_dir/run.json" -trace -quiet 2>/dev/null
 REPRO_MANIFEST="$manifest_dir/run.json" \
-    REPRO_MANIFEST_EXPECT_METRICS="nn.batch.,core.rank.,core.pretrain." \
+    REPRO_MANIFEST_EXPECT_METRICS="nn.batch.,core.rank.,core.pretrain.,shapley.approx." \
     go test ./internal/obs -run '^TestValidateManifestFile$' -v | tail -n 3
 # Metric-naming lint over the live registry snapshot the run actually
 # produced: every registered name must follow the repo convention and survive
